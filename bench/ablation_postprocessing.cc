@@ -1,0 +1,62 @@
+// Ablation E13: the §6 post-processing strategies head-to-head. For each ε,
+// runs FM-linear with {resample, regularize+trim, adaptive} and reports the
+// cross-validated MSE plus how often the remedies fired. (kNone is omitted
+// from the table when every fold fails; its failure count is reported.)
+#include <cstdio>
+
+#include "bench_util.h"
+#include "baselines/fm_algorithm.h"
+#include "eval/cross_validation.h"
+
+int main() {
+  using namespace fm;
+  auto ctx = bench::LoadContext();
+  bench::PrintBanner("ablation: §6 post-processing strategies", ctx);
+
+  const auto& bundle = ctx.bundles.front();  // US
+  auto ds = eval::PrepareTask(bundle.table,
+                              eval::ParameterGrid::kDefaultDimensionality,
+                              data::TaskKind::kLinear);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Rng sample_rng(DeriveSeed(ctx.config.seed, 41));
+  const auto sampled = ds.ValueOrDie().Sample(
+      eval::ParameterGrid::kDefaultSamplingRate, sample_rng);
+
+  const core::PostProcessing kModes[] = {
+      core::PostProcessing::kNone, core::PostProcessing::kResample,
+      core::PostProcessing::kRegularizeAndTrim,
+      core::PostProcessing::kAdaptive};
+
+  std::printf("%-8s %18s %12s %10s %10s\n", "epsilon", "mode", "mse",
+              "failures", "eps_spent");
+  for (double epsilon : eval::ParameterGrid::PrivacyBudgets()) {
+    for (const auto mode : kModes) {
+      core::FmOptions options;
+      options.epsilon = epsilon;
+      options.post_processing = mode;
+      baselines::FmAlgorithm fm(options);
+      eval::CvOptions cv;
+      cv.folds = ctx.config.folds;
+      cv.repeats = ctx.config.repeats;
+      cv.seed = DeriveSeed(ctx.config.seed, 42);
+      const auto result =
+          eval::CrossValidate(fm, sampled, data::TaskKind::kLinear, cv);
+      const double spent = mode == core::PostProcessing::kResample
+                               ? 2.0 * epsilon
+                               : epsilon;
+      if (result.ok()) {
+        std::printf("%-8.2g %18s %12.4f %10zu %10.2f\n", epsilon,
+                    core::PostProcessingToString(mode),
+                    result.ValueOrDie().mean_error,
+                    result.ValueOrDie().failures, spent);
+      } else {
+        std::printf("%-8.2g %18s %12s %10s %10.2f\n", epsilon,
+                    core::PostProcessingToString(mode), "-", "all", spent);
+      }
+    }
+  }
+  return 0;
+}

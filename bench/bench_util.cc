@@ -1,0 +1,228 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env_util.h"
+#include "common/rng.h"
+#include "eval/cross_validation.h"
+
+namespace fm::bench {
+
+namespace {
+
+// Quiet NaN marks a sweep cell whose algorithm failed.
+constexpr double kFailed = std::numeric_limits<double>::quiet_NaN();
+
+std::string FigureLabel(const std::string& base, const std::string& dataset,
+                        data::TaskKind task) {
+  return base + ":" + dataset + "-" +
+         (task == data::TaskKind::kLinear ? "Linear" : "Logistic");
+}
+
+// Runs every §7 algorithm on `ds` through CV and returns per-algorithm
+// errors (mean_error) or times (mean_train_seconds).
+std::vector<double> SweepPoint(const data::RegressionDataset& ds,
+                               data::TaskKind task, double epsilon,
+                               const eval::BenchConfig& config, uint64_t salt,
+                               bool want_time,
+                               std::vector<std::string>* names) {
+  const auto algorithms = eval::MakeAlgorithms(epsilon, task);
+  std::vector<double> row;
+  for (const auto& algorithm : algorithms) {
+    if (names != nullptr) names->push_back(algorithm->name());
+    eval::CvOptions cv;
+    cv.folds = config.folds;
+    cv.repeats = config.repeats;
+    cv.seed = DeriveSeed(config.seed, salt);
+    const auto result = eval::CrossValidate(*algorithm, ds, task, cv);
+    if (!result.ok()) {
+      row.push_back(kFailed);
+      continue;
+    }
+    row.push_back(want_time ? result.ValueOrDie().mean_train_seconds
+                            : result.ValueOrDie().mean_error);
+  }
+  return row;
+}
+
+}  // namespace
+
+BenchContext LoadContext() {
+  BenchContext ctx;
+  ctx.config = eval::BenchConfig::FromEnv();
+  auto bundles = eval::LoadCensusDatasets(ctx.config.scale, ctx.config.seed);
+  if (!bundles.ok()) {
+    std::fprintf(stderr, "failed to generate census data: %s\n",
+                 bundles.status().ToString().c_str());
+    std::exit(1);
+  }
+  ctx.bundles = std::move(bundles).ValueOrDie();
+  return ctx;
+}
+
+void PrintBanner(const std::string& bench_name, const BenchContext& ctx) {
+  std::printf("# %s — Functional Mechanism reproduction\n", bench_name.c_str());
+  std::printf("# scale=%.3g repeats=%zu folds=%zu seed=%llu", ctx.config.scale,
+              ctx.config.repeats, ctx.config.folds,
+              static_cast<unsigned long long>(ctx.config.seed));
+  for (const auto& bundle : ctx.bundles) {
+    std::printf("  %s=%zu rows", bundle.name.c_str(),
+                bundle.table.num_rows());
+  }
+  std::printf("\n");
+}
+
+std::vector<double> BenchSamplingRates() {
+  if (GetEnvInt64("FM_BENCH_FULL_GRID", 0) != 0) {
+    return eval::ParameterGrid::SamplingRates();
+  }
+  // The six ticks the paper's Figure 5/8 x-axes label.
+  return {0.1, 0.3, 0.5, 0.6, 0.8, 1.0};
+}
+
+void AccuracyVsDimensionality(const BenchContext& ctx, data::TaskKind task) {
+  const char* base = task == data::TaskKind::kLinear ? "fig4-lin" : "fig4-log";
+  for (const auto& bundle : ctx.bundles) {
+    const std::string figure = FigureLabel(base, bundle.name, task);
+    bool header_printed = false;
+    uint64_t salt = 0;
+    for (int dims : eval::ParameterGrid::Dimensionalities()) {
+      auto ds = eval::PrepareTask(bundle.table, dims, task);
+      if (!ds.ok()) continue;
+      Rng sample_rng(DeriveSeed(ctx.config.seed, 7000 + dims));
+      const auto sampled = ds.ValueOrDie().Sample(
+          eval::ParameterGrid::kDefaultSamplingRate, sample_rng);
+      std::vector<std::string> names;
+      const auto row =
+          SweepPoint(sampled, task, eval::ParameterGrid::kDefaultEpsilon,
+                     ctx.config, salt++, /*want_time=*/false, &names);
+      if (!header_printed) {
+        eval::PrintTableHeader(figure, "dims", names);
+        header_printed = true;
+      }
+      eval::PrintTableRow(figure, dims, row);
+    }
+  }
+}
+
+void AccuracyVsCardinality(const BenchContext& ctx, data::TaskKind task) {
+  const char* base = task == data::TaskKind::kLinear ? "fig5-lin" : "fig5-log";
+  for (const auto& bundle : ctx.bundles) {
+    const std::string figure = FigureLabel(base, bundle.name, task);
+    auto ds = eval::PrepareTask(bundle.table,
+                                eval::ParameterGrid::kDefaultDimensionality,
+                                task);
+    if (!ds.ok()) continue;
+    bool header_printed = false;
+    uint64_t salt = 100;
+    for (double rate : BenchSamplingRates()) {
+      Rng sample_rng(
+          DeriveSeed(ctx.config.seed, 8000 + static_cast<uint64_t>(rate * 100)));
+      const auto sampled = ds.ValueOrDie().Sample(rate, sample_rng);
+      std::vector<std::string> names;
+      const auto row =
+          SweepPoint(sampled, task, eval::ParameterGrid::kDefaultEpsilon,
+                     ctx.config, salt++, /*want_time=*/false, &names);
+      if (!header_printed) {
+        eval::PrintTableHeader(figure, "rate", names);
+        header_printed = true;
+      }
+      eval::PrintTableRow(figure, rate, row);
+    }
+  }
+}
+
+void AccuracyVsEpsilon(const BenchContext& ctx, data::TaskKind task) {
+  const char* base = task == data::TaskKind::kLinear ? "fig6-lin" : "fig6-log";
+  for (const auto& bundle : ctx.bundles) {
+    const std::string figure = FigureLabel(base, bundle.name, task);
+    auto ds = eval::PrepareTask(bundle.table,
+                                eval::ParameterGrid::kDefaultDimensionality,
+                                task);
+    if (!ds.ok()) continue;
+    Rng sample_rng(DeriveSeed(ctx.config.seed, 9000));
+    const auto sampled = ds.ValueOrDie().Sample(
+        eval::ParameterGrid::kDefaultSamplingRate, sample_rng);
+    bool header_printed = false;
+    uint64_t salt = 200;
+    for (double epsilon : eval::ParameterGrid::PrivacyBudgets()) {
+      std::vector<std::string> names;
+      const auto row = SweepPoint(sampled, task, epsilon, ctx.config, salt++,
+                                  /*want_time=*/false, &names);
+      if (!header_printed) {
+        eval::PrintTableHeader(figure, "epsilon", names);
+        header_printed = true;
+      }
+      eval::PrintTableRow(figure, epsilon, row);
+    }
+  }
+}
+
+void TimeSweep(const BenchContext& ctx, data::TaskKind task,
+               const std::string& axis) {
+  const char* fig = axis == "dimensionality" ? "fig7"
+                    : axis == "rate"         ? "fig8"
+                                             : "fig9";
+  // Timing needs no repetition-heavy CV; one repeat of 5 folds averages five
+  // trainings per point, matching the paper's per-run timing protocol.
+  eval::BenchConfig timing_config = ctx.config;
+  timing_config.repeats = 1;
+
+  for (const auto& bundle : ctx.bundles) {
+    const std::string figure = FigureLabel(fig, bundle.name, task);
+    bool header_printed = false;
+    uint64_t salt = 300;
+
+    auto run_point = [&](double x, const data::RegressionDataset& sampled) {
+      std::vector<std::string> names;
+      const auto row =
+          SweepPoint(sampled, task, eval::ParameterGrid::kDefaultEpsilon,
+                     timing_config, salt++, /*want_time=*/true, &names);
+      if (!header_printed) {
+        eval::PrintTableHeader(figure, "x=" + axis + " (sec)", names);
+        header_printed = true;
+      }
+      eval::PrintTableRow(figure, x, row);
+    };
+
+    if (axis == "dimensionality") {
+      for (int dims : eval::ParameterGrid::Dimensionalities()) {
+        auto ds = eval::PrepareTask(bundle.table, dims, task);
+        if (!ds.ok()) continue;
+        Rng rng(DeriveSeed(ctx.config.seed, 7100 + dims));
+        run_point(dims, ds.ValueOrDie().Sample(
+                            eval::ParameterGrid::kDefaultSamplingRate, rng));
+      }
+    } else if (axis == "rate") {
+      auto ds = eval::PrepareTask(
+          bundle.table, eval::ParameterGrid::kDefaultDimensionality, task);
+      if (!ds.ok()) continue;
+      for (double rate : BenchSamplingRates()) {
+        Rng rng(DeriveSeed(ctx.config.seed,
+                           8100 + static_cast<uint64_t>(rate * 100)));
+        run_point(rate, ds.ValueOrDie().Sample(rate, rng));
+      }
+    } else {
+      auto ds = eval::PrepareTask(
+          bundle.table, eval::ParameterGrid::kDefaultDimensionality, task);
+      if (!ds.ok()) continue;
+      Rng rng(DeriveSeed(ctx.config.seed, 9100));
+      const auto sampled = ds.ValueOrDie().Sample(
+          eval::ParameterGrid::kDefaultSamplingRate, rng);
+      for (double epsilon : eval::ParameterGrid::PrivacyBudgets()) {
+        std::vector<std::string> names;
+        const auto row = SweepPoint(sampled, task, epsilon, timing_config,
+                                    salt++, /*want_time=*/true, &names);
+        if (!header_printed) {
+          eval::PrintTableHeader(figure, "epsilon (sec)", names);
+          header_printed = true;
+        }
+        eval::PrintTableRow(figure, epsilon, row);
+      }
+    }
+  }
+}
+
+}  // namespace fm::bench

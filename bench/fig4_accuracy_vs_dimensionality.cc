@@ -1,0 +1,12 @@
+// Regenerates Figure 4 (a–d): regression accuracy vs dataset dimensionality
+// {5, 8, 11, 14} at ε = 0.8, sampling rate 0.6, for both datasets and both
+// tasks. Columns: FM, DPME, FP, NoPrivacy (+ Truncated for logistic).
+#include "bench_util.h"
+
+int main() {
+  auto ctx = fm::bench::LoadContext();
+  fm::bench::PrintBanner("fig4 accuracy vs dimensionality", ctx);
+  fm::bench::AccuracyVsDimensionality(ctx, fm::data::TaskKind::kLinear);
+  fm::bench::AccuracyVsDimensionality(ctx, fm::data::TaskKind::kLogistic);
+  return 0;
+}

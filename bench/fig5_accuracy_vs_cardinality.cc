@@ -1,0 +1,11 @@
+// Regenerates Figure 5 (a–d): regression accuracy vs dataset sampling rate
+// at ε = 0.8 and the full 14-attribute schema, for both datasets and tasks.
+#include "bench_util.h"
+
+int main() {
+  auto ctx = fm::bench::LoadContext();
+  fm::bench::PrintBanner("fig5 accuracy vs cardinality", ctx);
+  fm::bench::AccuracyVsCardinality(ctx, fm::data::TaskKind::kLinear);
+  fm::bench::AccuracyVsCardinality(ctx, fm::data::TaskKind::kLogistic);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 6 (a–d): regression accuracy vs privacy budget
+// ε ∈ {0.1, 0.2, 0.4, 0.8, 1.6, 3.2} at the default rate/dimensionality.
+// NoPrivacy (and Truncated) are ε-independent flat lines, as in the paper.
+#include "bench_util.h"
+
+int main() {
+  auto ctx = fm::bench::LoadContext();
+  fm::bench::PrintBanner("fig6 accuracy vs privacy budget", ctx);
+  fm::bench::AccuracyVsEpsilon(ctx, fm::data::TaskKind::kLinear);
+  fm::bench::AccuracyVsEpsilon(ctx, fm::data::TaskKind::kLogistic);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates Figure 8: per-fold training time (seconds) vs sampling rate
+// on the logistic task.
+#include "bench_util.h"
+
+int main() {
+  auto ctx = fm::bench::LoadContext();
+  fm::bench::PrintBanner("fig8 computation time vs cardinality", ctx);
+  fm::bench::TimeSweep(ctx, fm::data::TaskKind::kLogistic, "rate");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// E15: google-benchmark micro-benchmarks for the substrate hot paths —
+// Gram-matrix construction, Cholesky, Jacobi eigendecomposition, Laplace
+// sampling, full FM fits and the Newton logistic solver.
+#include <algorithm>
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/fm_linear.h"
+#include "core/fm_logistic.h"
+#include "core/functional_mechanism.h"
+#include "core/taylor.h"
+#include "dp/laplace_mechanism.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "opt/logistic_loss.h"
+
+namespace {
+
+using namespace fm;
+
+linalg::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.Uniform(0.0, 1.0);
+  return m;
+}
+
+linalg::Matrix RandomSpd(size_t n, uint64_t seed) {
+  linalg::Matrix spd = linalg::Gram(RandomMatrix(n, n, seed));
+  spd.AddToDiagonal(static_cast<double>(n));
+  return spd;
+}
+
+data::RegressionDataset RandomDataset(size_t n, size_t d, bool binary,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  data::RegressionDataset ds;
+  ds.x = linalg::Matrix(n, d);
+  ds.y = linalg::Vector(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t i = 0; i < n; ++i) {
+    double z = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      ds.x(i, j) = rng.Uniform(0.0, scale);
+      z += (j % 2 ? -4.0 : 4.0) * ds.x(i, j);
+    }
+    ds.y[i] = binary ? (rng.Bernoulli(opt::Sigmoid(z)) ? 1.0 : 0.0)
+                     : std::clamp(0.5 * z, -1.0, 1.0);
+  }
+  return ds;
+}
+
+void BM_GramMatrix(benchmark::State& state) {
+  const auto x = RandomMatrix(static_cast<size_t>(state.range(0)), 13, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Gram(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GramMatrix)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto spd = RandomSpd(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Cholesky::Compute(spd));
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(4)->Arg(13)->Arg(64);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto spd = RandomSpd(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::EigenSym(spd));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(4)->Arg(13)->Arg(32);
+
+void BM_LaplaceSampling(benchmark::State& state) {
+  Rng rng(4);
+  const auto mech = dp::LaplaceMechanism::Create(0.8, 392.0).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.Perturb(0.0, rng));
+  }
+}
+BENCHMARK(BM_LaplaceSampling);
+
+void BM_BuildLinearObjective(benchmark::State& state) {
+  const auto ds =
+      RandomDataset(static_cast<size_t>(state.range(0)), 13, false, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildLinearObjective(ds.x, ds.y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildLinearObjective)->Arg(10000)->Arg(50000);
+
+void BM_FmLinearFit(benchmark::State& state) {
+  const auto ds =
+      RandomDataset(static_cast<size_t>(state.range(0)), 13, false, 6);
+  core::FmOptions options;
+  options.epsilon = 0.8;
+  core::FmLinearRegression fm(options);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm.Fit(ds, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FmLinearFit)->Arg(10000)->Arg(50000);
+
+void BM_FmLogisticFit(benchmark::State& state) {
+  const auto ds =
+      RandomDataset(static_cast<size_t>(state.range(0)), 13, true, 8);
+  core::FmOptions options;
+  options.epsilon = 0.8;
+  core::FmLogisticRegression fm(options);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fm.Fit(ds, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FmLogisticFit)->Arg(10000)->Arg(50000);
+
+void BM_NewtonLogistic(benchmark::State& state) {
+  const auto ds =
+      RandomDataset(static_cast<size_t>(state.range(0)), 13, true, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::FitLogisticNewton(ds.x, ds.y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NewtonLogistic)->Arg(10000);
+
+void BM_SpectralTrim(benchmark::State& state) {
+  Rng rng(11);
+  opt::QuadraticModel q;
+  const size_t d = static_cast<size_t>(state.range(0));
+  q.m = linalg::Matrix(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      q.m(i, j) = rng.Uniform(-1.0, 1.0);
+      q.m(j, i) = q.m(i, j);
+    }
+  }
+  q.alpha = linalg::Vector(d, 1.0);
+  for (auto _ : state) {
+    size_t trimmed = 0;
+    benchmark::DoNotOptimize(
+        core::FunctionalMechanism::SpectralTrimMinimize(q, &trimmed));
+  }
+}
+BENCHMARK(BM_SpectralTrim)->Arg(13)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

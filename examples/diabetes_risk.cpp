@@ -1,0 +1,94 @@
+// The paper's Figure 1b scenario: predict the probability that a patient
+// has diabetes from age and cholesterol level, under ε-differential privacy,
+// with standard (boolean-label) logistic regression — the case Chaudhuri et
+// al.'s method cannot handle (§3).
+//
+// Shows: private training via Algorithm 2 (Taylor truncation + Algorithm 1),
+// probability predictions for example patients, and the accuracy cost of
+// privacy across budgets.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/fm_logistic.h"
+#include "data/normalizer.h"
+#include "data/table.h"
+#include "eval/metrics.h"
+#include "opt/logistic_loss.h"
+
+int main() {
+  using namespace fm;
+
+  // Synthetic cohort: diabetes risk increases with age and cholesterol.
+  Rng data_rng(11);
+  auto cohort =
+      data::Table::Create({"Age", "Cholesterol", "HasDiabetes"}).ValueOrDie();
+  const int kPatients = 30000;
+  cohort.ResizeRows(kPatients);
+  for (int i = 0; i < kPatients; ++i) {
+    const double age = std::clamp(data_rng.Gaussian(50.0, 15.0), 18.0, 90.0);
+    const double chol = std::clamp(data_rng.Gaussian(205.0, 35.0), 110.0, 340.0);
+    const double risk_score =
+        0.045 * (age - 50.0) + 0.022 * (chol - 205.0) - 0.8;
+    const bool diabetic = data_rng.Bernoulli(opt::Sigmoid(risk_score));
+    cohort.Set(i, 0, age);
+    cohort.Set(i, 1, chol);
+    cohort.Set(i, 2, diabetic ? 1.0 : 0.0);
+  }
+
+  data::Normalizer::Options norm_options;
+  norm_options.task = data::TaskKind::kLogistic;
+  norm_options.logistic_threshold = 0.5;  // label already boolean
+  // The true risk boundary is offset from the origin, so use the paper's
+  // footnote-2 intercept extension (a constant unit-sphere coordinate).
+  norm_options.add_intercept = true;
+  auto normalizer = data::Normalizer::Fit(cohort, {"Age", "Cholesterol"},
+                                          "HasDiabetes", norm_options)
+                        .ValueOrDie();
+  const auto dataset = normalizer.Apply(cohort).ValueOrDie();
+
+  // Non-private reference (exact logistic regression).
+  const auto exact = opt::FitLogisticNewton(dataset.x, dataset.y).ValueOrDie();
+  std::printf("Figure-1b scenario: diabetes ~ age + cholesterol, %d patients\n",
+              kPatients);
+  std::printf("exact misclassification: %.2f%%\n\n",
+              100.0 * eval::MisclassificationRate(exact, dataset));
+
+  std::printf("%-10s %22s %20s\n", "epsilon", "misclassification",
+              "spectral trimming?");
+  for (double epsilon : {0.2, 0.8, 3.2}) {
+    core::FmOptions options;
+    options.epsilon = epsilon;
+    core::FmLogisticRegression fm(options);
+    Rng rng(DeriveSeed(200, static_cast<uint64_t>(epsilon * 1000)));
+    const auto fit = fm.Fit(dataset, rng).ValueOrDie();
+    std::printf("%-10.2g %21.2f%% %20s\n", epsilon,
+                100.0 * eval::MisclassificationRate(fit.omega, dataset),
+                fit.used_spectral_trimming ? "yes" : "no");
+  }
+
+  // Risk predictions from a private model for three example patients.
+  core::FmOptions options;
+  options.epsilon = 0.8;
+  core::FmLogisticRegression fm(options);
+  Rng rng(2024);
+  const auto fit = fm.Fit(dataset, rng).ValueOrDie();
+
+  std::printf("\nprivate (ε=0.8) risk predictions:\n");
+  struct Patient {
+    double age, chol;
+  } patients[] = {{35.0, 170.0}, {55.0, 210.0}, {72.0, 280.0}};
+  for (const auto& p : patients) {
+    // Normalize the query point exactly like the training data.
+    auto query = data::Table::Create({"Age", "Cholesterol", "HasDiabetes"})
+                     .ValueOrDie();
+    query.AppendRow({p.age, p.chol, 0.0});
+    const auto q = normalizer.Apply(query).ValueOrDie();
+    const double prob = core::FmLogisticRegression::PredictProbability(
+        fit.omega, q.x.RowVector(0));
+    std::printf("  age %4.0f, cholesterol %5.0f → P[diabetes] = %.1f%%\n",
+                p.age, p.chol, 100.0 * prob);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baselines/dpme.h"
+
+#include <cmath>
+
+#include "baselines/histogram_grid.h"
+#include "baselines/no_privacy.h"
+#include "dp/laplace_mechanism.h"
+
+namespace fm::baselines {
+
+Result<TrainedModel> Dpme::Train(const data::RegressionDataset& train,
+                                 data::TaskKind task, Rng& rng) const {
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot train on an empty dataset");
+  }
+  FM_ASSIGN_OR_RETURN(
+      HistogramGrid grid,
+      HistogramGrid::Build(train.dim(), task, train.size(),
+                           options_.max_total_cells));
+  FM_ASSIGN_OR_RETURN(dp::LaplaceMechanism mech,
+                      dp::LaplaceMechanism::Create(options_.epsilon, 2.0));
+
+  // Noisy histogram: every cell — including empty ones — receives noise;
+  // publishing only non-empty cells would leak which cells are occupied.
+  std::unordered_map<size_t, double> counts = grid.Count(train);
+  std::unordered_map<size_t, double> noisy;
+  noisy.reserve(counts.size() * 2);
+  for (size_t cell = 0; cell < grid.TotalCells(); ++cell) {
+    const auto it = counts.find(cell);
+    const double count = it == counts.end() ? 0.0 : it->second;
+    const double value = mech.Perturb(count, rng);
+    if (value >= 0.5) noisy[cell] = value;  // rounds to ≥ 1 tuple
+  }
+
+  const size_t max_rows = static_cast<size_t>(
+      options_.max_synthetic_factor * static_cast<double>(train.size()));
+  const data::RegressionDataset synthetic =
+      SynthesizeFromCounts(grid, noisy, std::max<size_t>(max_rows, 16));
+
+  TrainedModel model;
+  model.epsilon_spent = options_.epsilon;
+  if (synthetic.size() == 0) {
+    // All mass filtered away: release the trivial model.
+    model.omega = linalg::Vector(train.dim());
+    return model;
+  }
+  // Post-processing: the synthetic data is already ε-DP, so the final
+  // regression is free.
+  NoPrivacy solver;
+  FM_ASSIGN_OR_RETURN(TrainedModel fitted, solver.Train(synthetic, task, rng));
+  model.omega = std::move(fitted.omega);
+  return model;
+}
+
+}  // namespace fm::baselines

@@ -1,0 +1,101 @@
+#include "baselines/filter_priority.h"
+
+#include <cmath>
+
+#include "baselines/histogram_grid.h"
+#include "baselines/no_privacy.h"
+#include "dp/laplace_mechanism.h"
+
+namespace fm::baselines {
+
+Result<TrainedModel> FilterPriority::Train(
+    const data::RegressionDataset& train, data::TaskKind task,
+    Rng& rng) const {
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot train on an empty dataset");
+  }
+  FM_ASSIGN_OR_RETURN(
+      HistogramGrid grid,
+      HistogramGrid::Build(train.dim(), task, train.size(),
+                           options_.max_total_cells));
+  FM_ASSIGN_OR_RETURN(dp::LaplaceMechanism mech,
+                      dp::LaplaceMechanism::Create(options_.epsilon, 2.0));
+  const double b = mech.scale();
+
+  // Threshold so that the expected number of published cells ≈ m: an empty
+  // cell clears θ with probability ½·e^{−θ/b}, so θ = b·ln(cells / (2m))
+  // (clamped at 0 when the domain is small relative to m).
+  const double total_cells = static_cast<double>(grid.TotalCells());
+  const double m = std::max(
+      1.0, options_.target_fraction * static_cast<double>(train.size()));
+  const double theta = std::max(0.0, b * std::log(total_cells / (2.0 * m)));
+
+  std::unordered_map<size_t, double> counts = grid.Count(train);
+  std::unordered_map<size_t, double> published;
+  published.reserve(counts.size());
+
+  // (i) Non-empty cells: perturb and filter.
+  for (const auto& [cell, count] : counts) {
+    const double noisy = mech.Perturb(count, rng);
+    if (noisy > theta && noisy >= 0.5) published[cell] = noisy;
+  }
+
+  // (ii) Empty cells: simulate the survivors directly. Survivor count is
+  // Binomial(#empty, p) with p = ½·e^{−θ/b}; survivor values follow the
+  // Laplace tail above θ, i.e. θ + Exp(1/b).
+  const double num_empty =
+      total_cells - static_cast<double>(counts.size());
+  if (num_empty > 0.0 && theta >= 0.0) {
+    const double p = 0.5 * std::exp(-theta / b);
+    // Poisson approximation of the Binomial is exact enough at these sizes
+    // (p small, #empty large); fall back to per-cell Bernoulli when the
+    // domain is tiny.
+    size_t survivors = 0;
+    if (num_empty < 4096) {
+      for (double c = 0; c < num_empty; ++c) {
+        if (rng.Bernoulli(p)) ++survivors;
+      }
+    } else {
+      const double lambda = num_empty * p;
+      // Sample Poisson(λ) via Gaussian approximation for large λ.
+      if (lambda > 64.0) {
+        survivors = static_cast<size_t>(std::max(
+            0.0, std::round(rng.Gaussian(lambda, std::sqrt(lambda)))));
+      } else {
+        // Knuth's method.
+        const double limit = std::exp(-lambda);
+        double prod = rng.Uniform();
+        while (prod > limit) {
+          ++survivors;
+          prod *= rng.Uniform();
+        }
+      }
+    }
+    for (size_t s = 0; s < survivors; ++s) {
+      // Uniform random cell; skip (rare) collisions with occupied cells.
+      const size_t cell = static_cast<size_t>(rng.UniformInt(
+          static_cast<uint64_t>(grid.TotalCells())));
+      if (counts.count(cell) != 0 || published.count(cell) != 0) continue;
+      const double value = theta + rng.Exponential(1.0 / b);
+      if (value >= 0.5) published[cell] = value;
+    }
+  }
+
+  const size_t max_rows = static_cast<size_t>(
+      options_.max_synthetic_factor * static_cast<double>(train.size()));
+  const data::RegressionDataset synthetic =
+      SynthesizeFromCounts(grid, published, std::max<size_t>(max_rows, 16));
+
+  TrainedModel model;
+  model.epsilon_spent = options_.epsilon;
+  if (synthetic.size() == 0) {
+    model.omega = linalg::Vector(train.dim());
+    return model;
+  }
+  NoPrivacy solver;
+  FM_ASSIGN_OR_RETURN(TrainedModel fitted, solver.Train(synthetic, task, rng));
+  model.omega = std::move(fitted.omega);
+  return model;
+}
+
+}  // namespace fm::baselines

@@ -1,0 +1,24 @@
+#include "baselines/fm_algorithm.h"
+
+#include "core/fm_linear.h"
+#include "core/fm_logistic.h"
+
+namespace fm::baselines {
+
+Result<TrainedModel> FmAlgorithm::Train(const data::RegressionDataset& train,
+                                        data::TaskKind task, Rng& rng) const {
+  core::FmFitReport fit;
+  if (task == data::TaskKind::kLinear) {
+    core::FmLinearRegression regression(options_);
+    FM_ASSIGN_OR_RETURN(fit, regression.Fit(train, rng));
+  } else {
+    core::FmLogisticRegression regression(options_);
+    FM_ASSIGN_OR_RETURN(fit, regression.Fit(train, rng));
+  }
+  TrainedModel model;
+  model.omega = std::move(fit.omega);
+  model.epsilon_spent = fit.epsilon_spent;
+  return model;
+}
+
+}  // namespace fm::baselines

@@ -1,0 +1,30 @@
+#ifndef FM_BASELINES_FM_ALGORITHM_H_
+#define FM_BASELINES_FM_ALGORITHM_H_
+
+#include "baselines/regression_algorithm.h"
+#include "core/functional_mechanism.h"
+
+namespace fm::baselines {
+
+/// Adapter exposing the Functional Mechanism (the paper's contribution,
+/// src/core) through the common RegressionAlgorithm interface used by the
+/// evaluation harness.
+class FmAlgorithm : public RegressionAlgorithm {
+ public:
+  explicit FmAlgorithm(const core::FmOptions& options) : options_(options) {}
+
+  std::string name() const override { return "FM"; }
+  bool is_private() const override { return true; }
+
+  Result<TrainedModel> Train(const data::RegressionDataset& train,
+                             data::TaskKind task, Rng& rng) const override;
+
+  const core::FmOptions& options() const { return options_; }
+
+ private:
+  core::FmOptions options_;
+};
+
+}  // namespace fm::baselines
+
+#endif  // FM_BASELINES_FM_ALGORITHM_H_

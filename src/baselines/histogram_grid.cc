@@ -1,0 +1,145 @@
+#include "baselines/histogram_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace fm::baselines {
+
+Result<HistogramGrid> HistogramGrid::Build(size_t d, data::TaskKind task,
+                                           size_t n,
+                                           size_t max_total_cells) {
+  if (d == 0) return Status::InvalidArgument("grid needs at least 1 feature");
+  if (n == 0) return Status::InvalidArgument("grid needs a non-empty dataset");
+
+  HistogramGrid grid;
+  grid.d_ = d;
+  grid.task_ = task;
+  grid.feature_max_ = 1.0 / std::sqrt(static_cast<double>(d));
+
+  // Lei's bandwidth rule on the unit-scaled domain: h = (log n / n)^{1/(d+2)}.
+  const double nn = static_cast<double>(std::max<size_t>(n, 3));
+  const double h = std::pow(std::log(nn) / nn,
+                            1.0 / (static_cast<double>(d) + 2.0));
+  size_t bins = static_cast<size_t>(std::max(1.0, std::round(1.0 / h)));
+
+  grid.label_bins_ =
+      task == data::TaskKind::kLogistic ? 2 : std::max<size_t>(bins, 2);
+
+  // Cap: feature_bins^d · label_bins ≤ max_total_cells. Work in logs to
+  // avoid overflow for large d.
+  const double log_budget =
+      std::log(static_cast<double>(max_total_cells)) -
+      std::log(static_cast<double>(grid.label_bins_));
+  const double max_feature_bins =
+      std::floor(std::exp(log_budget / static_cast<double>(d)));
+  bins = std::max<size_t>(
+      1, std::min(bins, static_cast<size_t>(std::max(1.0, max_feature_bins))));
+  grid.feature_bins_ = bins;
+  if (task == data::TaskKind::kLinear) {
+    // Keep the label granularity consistent with the features.
+    grid.label_bins_ = std::max<size_t>(2, bins);
+  }
+
+  double total = static_cast<double>(grid.label_bins_);
+  for (size_t j = 0; j < d; ++j) total *= static_cast<double>(bins);
+  if (total > static_cast<double>(max_total_cells) * 4.0) {
+    return Status::Internal("grid sizing overflow");
+  }
+  grid.total_cells_ = static_cast<size_t>(total);
+  return grid;
+}
+
+size_t HistogramGrid::CellOf(const linalg::Vector& x, double y) const {
+  FM_CHECK(x.size() == d_);
+  size_t index = 0;
+  for (size_t j = 0; j < d_; ++j) {
+    const double frac = std::clamp(x[j] / feature_max_, 0.0, 1.0);
+    size_t bin = static_cast<size_t>(frac * static_cast<double>(feature_bins_));
+    bin = std::min(bin, feature_bins_ - 1);
+    index = index * feature_bins_ + bin;
+  }
+  size_t label_bin;
+  if (task_ == data::TaskKind::kLogistic) {
+    label_bin = y > 0.5 ? 1 : 0;
+  } else {
+    const double frac = std::clamp((y + 1.0) / 2.0, 0.0, 1.0);
+    label_bin = static_cast<size_t>(frac * static_cast<double>(label_bins_));
+    label_bin = std::min(label_bin, label_bins_ - 1);
+  }
+  return index * label_bins_ + label_bin;
+}
+
+void HistogramGrid::CellCenter(size_t cell, linalg::Vector* x,
+                               double* y) const {
+  FM_CHECK(cell < total_cells_ && x != nullptr && y != nullptr);
+  const size_t label_bin = cell % label_bins_;
+  size_t index = cell / label_bins_;
+
+  x->Resize(d_);
+  for (size_t jj = d_; jj-- > 0;) {
+    const size_t bin = index % feature_bins_;
+    index /= feature_bins_;
+    (*x)[jj] = (static_cast<double>(bin) + 0.5) * feature_max_ /
+               static_cast<double>(feature_bins_);
+  }
+  if (task_ == data::TaskKind::kLogistic) {
+    *y = static_cast<double>(label_bin);
+  } else {
+    *y = -1.0 + (static_cast<double>(label_bin) + 0.5) * 2.0 /
+                    static_cast<double>(label_bins_);
+  }
+}
+
+std::unordered_map<size_t, double> HistogramGrid::Count(
+    const data::RegressionDataset& dataset) const {
+  std::unordered_map<size_t, double> counts;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    counts[CellOf(dataset.x.RowVector(i), dataset.y[i])] += 1.0;
+  }
+  return counts;
+}
+
+data::RegressionDataset SynthesizeFromCounts(
+    const HistogramGrid& grid,
+    const std::unordered_map<size_t, double>& noisy_counts, size_t max_rows) {
+  // Order cells for determinism, round counts, and compute the total.
+  std::map<size_t, long long> rounded;
+  double total = 0.0;
+  for (const auto& [cell, count] : noisy_counts) {
+    const long long r = static_cast<long long>(std::llround(count));
+    if (r >= 1) {
+      rounded[cell] = r;
+      total += static_cast<double>(r);
+    }
+  }
+  double scale = 1.0;
+  if (total > static_cast<double>(max_rows) && total > 0.0) {
+    scale = static_cast<double>(max_rows) / total;
+  }
+
+  data::RegressionDataset out;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  linalg::Vector center;
+  double y_center = 0.0;
+  for (const auto& [cell, count] : rounded) {
+    const long long copies = static_cast<long long>(
+        std::llround(static_cast<double>(count) * scale));
+    if (copies < 1) continue;
+    grid.CellCenter(cell, &center, &y_center);
+    for (long long c = 0; c < copies; ++c) {
+      xs.insert(xs.end(), center.begin(), center.end());
+      ys.push_back(y_center);
+    }
+  }
+  const size_t n = ys.size();
+  out.x = linalg::Matrix(n, grid.dim());
+  std::copy(xs.begin(), xs.end(), out.x.data().begin());
+  out.y = linalg::Vector(std::move(ys));
+  return out;
+}
+
+}  // namespace fm::baselines

@@ -1,0 +1,73 @@
+#ifndef FM_BASELINES_HISTOGRAM_GRID_H_
+#define FM_BASELINES_HISTOGRAM_GRID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "linalg/vector.h"
+
+namespace fm::baselines {
+
+/// Equi-width grid over the normalized (x, y) domain — the shared substrate
+/// of the DPME and FP baselines, both of which publish noisy cell counts and
+/// regenerate synthetic tuples from cell centers.
+///
+/// Features live in [0, 1/√d] per dimension (the §3 normalization image);
+/// the label is [−1, 1] for the linear task and {0, 1} for the logistic
+/// task. The per-dimension bin count follows Lei's bandwidth rule
+/// h = (log n / n)^{1/(d+2)} (bins ≈ 1/h on the unit-scaled domain), capped
+/// so the total cell count stays below `max_total_cells` — exactly the
+/// coarsening-with-dimensionality behaviour §2 describes for DPME.
+class HistogramGrid {
+ public:
+  /// Builds a grid for `d` features and the given task over a dataset of
+  /// `n` tuples. Fails when d == 0 or n == 0.
+  static Result<HistogramGrid> Build(size_t d, data::TaskKind task, size_t n,
+                                     size_t max_total_cells = size_t{1} << 20);
+
+  size_t dim() const { return d_; }
+  size_t feature_bins() const { return feature_bins_; }
+  size_t label_bins() const { return label_bins_; }
+
+  /// Total number of cells = feature_bins^d · label_bins.
+  size_t TotalCells() const { return total_cells_; }
+
+  /// Flattened cell index of a tuple (x clamped into the domain).
+  size_t CellOf(const linalg::Vector& x, double y) const;
+
+  /// Inverse of CellOf up to cell centers: writes the center of `cell` into
+  /// `x` (resized to d) and `y`.
+  void CellCenter(size_t cell, linalg::Vector* x, double* y) const;
+
+  /// Exact (non-private) histogram of `dataset`: cell index → count.
+  std::unordered_map<size_t, double> Count(
+      const data::RegressionDataset& dataset) const;
+
+ private:
+  HistogramGrid() = default;
+
+  size_t d_ = 0;
+  data::TaskKind task_ = data::TaskKind::kLinear;
+  size_t feature_bins_ = 1;
+  size_t label_bins_ = 1;
+  size_t total_cells_ = 1;
+  double feature_max_ = 1.0;  // 1/√d
+};
+
+/// Materializes a synthetic RegressionDataset from noisy cell counts:
+/// each cell contributes round(count) copies of its center (counts ≤ 0 drop
+/// out). When the synthetic total would exceed `max_rows`, counts are scaled
+/// down proportionally. Deterministic given the map iteration-independent
+/// cell ordering (cells are emitted in ascending index order).
+data::RegressionDataset SynthesizeFromCounts(
+    const HistogramGrid& grid,
+    const std::unordered_map<size_t, double>& noisy_counts, size_t max_rows);
+
+}  // namespace fm::baselines
+
+#endif  // FM_BASELINES_HISTOGRAM_GRID_H_

@@ -1,0 +1,54 @@
+#include "baselines/no_privacy.h"
+
+#include "core/taylor.h"
+#include "linalg/solve.h"
+#include "opt/logistic_loss.h"
+#include "opt/quadratic_model.h"
+
+namespace fm::baselines {
+
+Result<TrainedModel> NoPrivacy::Train(const data::RegressionDataset& train,
+                                      data::TaskKind task, Rng& rng) const {
+  (void)rng;  // deterministic
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot train on an empty dataset");
+  }
+  TrainedModel model;
+  if (task == data::TaskKind::kLinear) {
+    FM_ASSIGN_OR_RETURN(model.omega, linalg::LeastSquares(train.x, train.y));
+  } else {
+    FM_ASSIGN_OR_RETURN(model.omega,
+                        opt::FitLogisticNewton(train.x, train.y));
+  }
+  return model;
+}
+
+Result<TrainedModel> Truncated::Train(const data::RegressionDataset& train,
+                                      data::TaskKind task, Rng& rng) const {
+  (void)rng;  // deterministic
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot train on an empty dataset");
+  }
+  TrainedModel model;
+  if (task == data::TaskKind::kLinear) {
+    // Linear regression's objective is already a finite polynomial (§4.2) —
+    // no truncation happens, so Truncated == NoPrivacy.
+    FM_ASSIGN_OR_RETURN(model.omega, linalg::LeastSquares(train.x, train.y));
+    return model;
+  }
+  const opt::QuadraticModel objective =
+      core::BuildTruncatedLogisticObjective(train.x, train.y);
+  Result<linalg::Vector> direct = objective.Minimize();
+  if (direct.ok()) {
+    model.omega = std::move(direct).ValueOrDie();
+    return model;
+  }
+  // Singular Gram matrix (collinear features): minimum-norm stationary point.
+  linalg::Matrix two_m = objective.m;
+  two_m *= 2.0;
+  FM_ASSIGN_OR_RETURN(model.omega,
+                      linalg::SolveSymmetricPseudo(two_m, -objective.alpha));
+  return model;
+}
+
+}  // namespace fm::baselines

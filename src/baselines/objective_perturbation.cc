@@ -1,0 +1,76 @@
+#include "baselines/objective_perturbation.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "opt/logistic_loss.h"
+
+namespace fm::baselines {
+
+Result<TrainedModel> ObjectivePerturbation::Train(
+    const data::RegressionDataset& train, data::TaskKind task,
+    Rng& rng) const {
+  if (task != data::TaskKind::kLogistic) {
+    return Status::Unimplemented(
+        "objective perturbation covers regularized logistic ERM only; "
+        "standard linear regression falls outside its convexity analysis "
+        "(see §2/§3 of the FM paper)");
+  }
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot train on an empty dataset");
+  }
+  if (!(options_.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const double n = static_cast<double>(train.size());
+  const size_t d = train.dim();
+  constexpr double kLossSmoothness = 0.25;  // |ℓ″| for the logistic loss
+
+  double lambda = options_.lambda;
+  double eps_prime =
+      options_.epsilon - 2.0 * std::log(1.0 + kLossSmoothness / (n * lambda));
+  if (eps_prime <= 0.0) {
+    lambda = kLossSmoothness / (n * (std::exp(options_.epsilon / 4.0) - 1.0));
+    eps_prime = options_.epsilon / 2.0;
+  }
+
+  // b: uniform direction, ‖b‖ ~ Gamma(d, 2/ε′).
+  linalg::Vector b(d);
+  for (auto& v : b) v = rng.Gaussian();
+  const double norm = b.Norm2();
+  const double target_norm =
+      rng.Gamma(static_cast<double>(d), 2.0 / eps_prime);
+  if (norm > 0.0) b *= target_norm / norm;
+
+  // Damped Newton on J(ω) = Σℓ + (nλ/2)‖ω‖² + bᵀω.
+  const opt::LogisticObjective base(train.x, train.y, n * lambda);
+  linalg::Vector omega(d);
+  for (int iter = 0; iter < 50; ++iter) {
+    linalg::Vector grad = base.Gradient(omega);
+    grad += b;
+    if (grad.NormInf() <= 1e-8 * n) break;
+    linalg::Matrix hess = base.Hessian(omega);  // PD thanks to the ridge
+    FM_ASSIGN_OR_RETURN(linalg::Cholesky chol,
+                        linalg::Cholesky::Compute(hess));
+    const linalg::Vector step = chol.Solve(grad);
+    // The ridge makes J strongly convex; a plain damped step suffices.
+    const double f0 = base.Value(omega) + Dot(b, omega);
+    double t = 1.0;
+    for (int ls = 0; ls < 30; ++ls) {
+      linalg::Vector candidate = omega;
+      candidate.Axpy(-t, step);
+      if (base.Value(candidate) + Dot(b, candidate) <= f0) {
+        omega = std::move(candidate);
+        break;
+      }
+      t *= 0.5;
+    }
+  }
+
+  TrainedModel model;
+  model.omega = std::move(omega);
+  model.epsilon_spent = options_.epsilon;
+  return model;
+}
+
+}  // namespace fm::baselines

@@ -1,0 +1,48 @@
+#include "baselines/output_perturbation.h"
+
+#include <cmath>
+
+#include "opt/logistic_loss.h"
+
+namespace fm::baselines {
+
+Result<TrainedModel> OutputPerturbation::Train(
+    const data::RegressionDataset& train, data::TaskKind task,
+    Rng& rng) const {
+  if (task != data::TaskKind::kLogistic) {
+    return Status::Unimplemented(
+        "output perturbation covers regularized logistic ERM only");
+  }
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot train on an empty dataset");
+  }
+  if (!(options_.epsilon > 0.0) || !(options_.lambda > 0.0)) {
+    return Status::InvalidArgument("epsilon and lambda must be positive");
+  }
+  const double n = static_cast<double>(train.size());
+  const size_t d = train.dim();
+
+  // Exact regularized fit (ridge scaled to the summed objective).
+  FM_ASSIGN_OR_RETURN(
+      linalg::Vector omega,
+      opt::FitLogisticNewton(train.x, train.y, n * options_.lambda));
+
+  // Noise: uniform direction, ‖b‖ ~ Gamma(d, 2/(nλε)) — the logistic loss
+  // is 1-Lipschitz.
+  linalg::Vector b(d);
+  for (auto& v : b) v = rng.Gaussian();
+  const double norm = b.Norm2();
+  const double scale = 2.0 / (n * options_.lambda * options_.epsilon);
+  const double target_norm = rng.Gamma(static_cast<double>(d), scale);
+  if (norm > 0.0) {
+    b *= target_norm / norm;
+    omega += b;
+  }
+
+  TrainedModel model;
+  model.omega = std::move(omega);
+  model.epsilon_spent = options_.epsilon;
+  return model;
+}
+
+}  // namespace fm::baselines

@@ -1,0 +1,44 @@
+#ifndef FM_BASELINES_OUTPUT_PERTURBATION_H_
+#define FM_BASELINES_OUTPUT_PERTURBATION_H_
+
+#include "baselines/regression_algorithm.h"
+
+namespace fm::baselines {
+
+/// Output perturbation for regularized ERM (Chaudhuri & Monteleoni's
+/// "sensitivity method", Algorithm 1 of the JMLR'11 paper): train the exact
+/// regularized logistic model, then add noise directly to the released
+/// parameters. For an L-Lipschitz loss with ‖x‖ ≤ 1 the L2 sensitivity of
+/// the regularized minimizer is 2L/(nλ), and adding a noise vector with
+/// ‖b‖ ~ Gamma(d, 2·L/(nλε)) and uniform direction is ε-DP.
+///
+/// Completes the related-work family next to objective perturbation: the
+/// three approaches (output, objective, and the paper's functional
+/// perturbation) differ exactly in *where* the noise enters.
+/// Logistic-task only (L = 1), like ObjectivePerturbation.
+class OutputPerturbation : public RegressionAlgorithm {
+ public:
+  struct Options {
+    double epsilon = 0.8;
+    /// Per-tuple regularization coefficient λ; the sensitivity (and so the
+    /// noise) scales as 1/(nλ).
+    double lambda = 1e-3;
+  };
+
+  explicit OutputPerturbation(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "OutPert"; }
+  bool is_private() const override { return true; }
+
+  Result<TrainedModel> Train(const data::RegressionDataset& train,
+                             data::TaskKind task, Rng& rng) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace fm::baselines
+
+#endif  // FM_BASELINES_OUTPUT_PERTURBATION_H_

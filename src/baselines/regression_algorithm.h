@@ -1,0 +1,49 @@
+#ifndef FM_BASELINES_REGRESSION_ALGORITHM_H_
+#define FM_BASELINES_REGRESSION_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "linalg/vector.h"
+
+namespace fm::baselines {
+
+/// A trained regression model plus its privacy accounting.
+struct TrainedModel {
+  /// The released parameter vector ω.
+  linalg::Vector omega;
+
+  /// Total ε spent training (0 for the non-private algorithms).
+  double epsilon_spent = 0.0;
+};
+
+/// Uniform interface over every algorithm in the paper's §7 evaluation
+/// (FM, DPME, FP, NoPrivacy, Truncated) plus the objective-perturbation
+/// extension, so the harness can sweep them interchangeably.
+///
+/// All algorithms release a parameter vector ω; prediction is xᵀω for the
+/// linear task and σ(xᵀω) > 0.5 for the logistic task (eval/metrics.h).
+class RegressionAlgorithm {
+ public:
+  virtual ~RegressionAlgorithm() = default;
+
+  /// Display name used in benchmark tables ("FM", "DPME", ...).
+  virtual std::string name() const = 0;
+
+  /// True when training satisfies ε-differential privacy.
+  virtual bool is_private() const = 0;
+
+  /// Trains on `train` (which satisfies the §3 normalization contract) for
+  /// the given task, drawing any randomness from `rng`.
+  virtual Result<TrainedModel> Train(const data::RegressionDataset& train,
+                                     data::TaskKind task, Rng& rng) const = 0;
+};
+
+}  // namespace fm::baselines
+
+#endif  // FM_BASELINES_REGRESSION_ALGORITHM_H_

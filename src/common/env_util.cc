@@ -1,0 +1,34 @@
+#include "common/env_util.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace fm {
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(env, &end);
+  if (errno != 0 || end == env) return default_value;
+  return value;
+}
+
+int64_t GetEnvInt64(const char* name, int64_t default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env) return default_value;
+  return static_cast<int64_t>(value);
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_value;
+  return std::string(env);
+}
+
+}  // namespace fm

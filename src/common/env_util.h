@@ -1,0 +1,22 @@
+#ifndef FM_COMMON_ENV_UTIL_H_
+#define FM_COMMON_ENV_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fm {
+
+/// Returns the environment variable `name` parsed as a double, or
+/// `default_value` when unset or unparsable.
+double GetEnvDouble(const char* name, double default_value);
+
+/// Returns the environment variable `name` parsed as int64, or
+/// `default_value` when unset or unparsable.
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+
+/// Returns the environment variable `name`, or `default_value` when unset.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace fm
+
+#endif  // FM_COMMON_ENV_UTIL_H_

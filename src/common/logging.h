@@ -1,0 +1,63 @@
+#ifndef FM_COMMON_LOGGING_H_
+#define FM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fm {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted. Defaults to kInfo, or the value
+/// of the FM_LOG_LEVEL environment variable (debug|info|warning|error) when
+/// set at startup.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log statement collector; flushes to stderr on destruction.
+/// Use via the FM_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fm
+
+/// Emits a log record: FM_LOG(kInfo) << "built " << n << " coefficients";
+#define FM_LOG(severity)                                              \
+  ::fm::internal::LogMessage(::fm::LogLevel::severity, __FILE__, __LINE__)
+
+/// Aborts the process with a message when `condition` is false. Used for
+/// programmer errors (API misuse), never for data-dependent failures — those
+/// return fm::Status.
+#define FM_CHECK(condition)                                                  \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      ::fm::internal::LogMessage(::fm::LogLevel::kError, __FILE__, __LINE__) \
+          << "FM_CHECK failed: " #condition;                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // FM_COMMON_LOGGING_H_

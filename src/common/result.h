@@ -1,0 +1,96 @@
+#ifndef FM_COMMON_RESULT_H_
+#define FM_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fm {
+
+/// A value-or-error container in the style of `arrow::Result<T>`.
+///
+/// Either holds a `T` (and an OK status) or a non-OK `Status`. Accessing the
+/// value of an errored result aborts the process; call `ok()` first or use
+/// `FM_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an errored result. Aborts if `status` is OK — an OK result
+  /// must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result<T> constructed from OK status without a value\n";
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Aborts when `!ok()`.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  /// Alias matching the std::expected spelling.
+  const T& value() const& { return ValueOrDie(); }
+  T& value() & { return ValueOrDie(); }
+  T value() && { return std::move(*this).ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Result<T>::ValueOrDie on error: " << status_.ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fm
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on error and
+/// otherwise binding the contained value to `lhs`.
+#define FM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define FM_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define FM_ASSIGN_OR_RETURN_NAME(x, y) FM_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define FM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  FM_ASSIGN_OR_RETURN_IMPL(             \
+      FM_ASSIGN_OR_RETURN_NAME(_fm_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // FM_COMMON_RESULT_H_

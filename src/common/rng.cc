@@ -1,0 +1,144 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace fm {
+
+namespace {
+
+// SplitMix64 step; used for seeding and seed derivation.
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  has_spare_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256++ by Blackman & Vigna (public domain reference construction).
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  // Rejection sampling to remove modulo bias.
+  if (n == 0) std::abort();
+  const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Laplace(double scale) {
+  // Inverse CDF: u uniform in (-1/2, 1/2], x = -b * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform() - 0.5;
+  // Guard against u == -0.5 exactly (log(0)); resample.
+  while (u <= -0.5) u = Uniform() - 0.5;
+  const double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double Rng::Exponential(double rate) {
+  double u = Uniform();
+  while (u <= 0.0) u = Uniform();
+  return -std::log(u) / rate;
+}
+
+double Rng::Gamma(double shape, double scale) {
+  if (shape < 1.0) {
+    // Boost: Gamma(k) = Gamma(k+1) * U^{1/k}.
+    double u = Uniform();
+    while (u <= 0.0) u = Uniform();
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Gaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return UniformInt(weights.size());
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+uint64_t Rng::Fork() { return Next() ^ 0xA5A5A5A55A5A5A5Aull; }
+
+uint64_t DeriveSeed(uint64_t root, uint64_t stream) {
+  uint64_t s = root ^ (stream * 0x9E3779B97F4A7C15ull + 0x7F4A7C15ull);
+  return SplitMix64(s);
+}
+
+}  // namespace fm

@@ -1,0 +1,118 @@
+#ifndef FM_COMMON_STATUS_H_
+#define FM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fm {
+
+/// Machine-readable category of a failure. Mirrors the Arrow/RocksDB idiom of
+/// returning structured error objects instead of throwing across API
+/// boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kNumericalError = 6,
+  kIoError = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error value returned by all fallible operations in
+/// this library.
+///
+/// A default-constructed `Status` is OK and carries no allocation. Error
+/// statuses carry a code and a human-readable message. `Status` is cheap to
+/// copy and move and is intended to be returned by value.
+///
+/// Usage:
+///
+///   fm::Status s = DoWork();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code with a
+  /// message is allowed but unusual.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace fm
+
+/// Propagates a non-OK status to the caller. Mirrors ARROW_RETURN_NOT_OK.
+#define FM_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::fm::Status _fm_status = (expr);           \
+    if (!_fm_status.ok()) return _fm_status;    \
+  } while (false)
+
+#endif  // FM_COMMON_STATUS_H_

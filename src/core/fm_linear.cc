@@ -1,0 +1,27 @@
+#include "core/fm_linear.h"
+
+#include "core/taylor.h"
+
+namespace fm::core {
+
+Result<FmFitReport> FmLinearRegression::Fit(
+    const data::RegressionDataset& train, Rng& rng) const {
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot fit on an empty dataset");
+  }
+  if (!train.SatisfiesNormalizationContract()) {
+    return Status::InvalidArgument(
+        "dataset violates the §3 contract (‖x‖ ≤ 1, y ∈ [−1,1]); run it "
+        "through data::Normalizer first");
+  }
+  const opt::QuadraticModel objective = BuildLinearObjective(train.x, train.y);
+  const double delta = LinearRegressionSensitivity(train.dim());
+  return FunctionalMechanism::FitQuadratic(objective, delta, options_, rng);
+}
+
+double FmLinearRegression::Predict(const linalg::Vector& omega,
+                                   const linalg::Vector& x) {
+  return linalg::Dot(omega, x);
+}
+
+}  // namespace fm::core

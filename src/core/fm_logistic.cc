@@ -1,0 +1,40 @@
+#include "core/fm_logistic.h"
+
+#include "core/taylor.h"
+#include "opt/logistic_loss.h"
+
+namespace fm::core {
+
+Result<FmFitReport> FmLogisticRegression::Fit(
+    const data::RegressionDataset& train, Rng& rng) const {
+  if (train.size() == 0) {
+    return Status::FailedPrecondition("cannot fit on an empty dataset");
+  }
+  if (!train.SatisfiesNormalizationContract()) {
+    return Status::InvalidArgument(
+        "dataset violates the §3 contract (‖x‖ ≤ 1); run it through "
+        "data::Normalizer first");
+  }
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train.y[i] != 0.0 && train.y[i] != 1.0) {
+      return Status::InvalidArgument(
+          "logistic regression requires labels in {0, 1} (Definition 2)");
+    }
+  }
+  const opt::QuadraticModel objective =
+      BuildTruncatedLogisticObjective(train.x, train.y);
+  const double delta = LogisticRegressionSensitivity(train.dim());
+  return FunctionalMechanism::FitQuadratic(objective, delta, options_, rng);
+}
+
+double FmLogisticRegression::PredictProbability(const linalg::Vector& omega,
+                                                const linalg::Vector& x) {
+  return opt::Sigmoid(linalg::Dot(omega, x));
+}
+
+double FmLogisticRegression::Classify(const linalg::Vector& omega,
+                                      const linalg::Vector& x) {
+  return PredictProbability(omega, x) > 0.5 ? 1.0 : 0.0;
+}
+
+}  // namespace fm::core

@@ -1,0 +1,178 @@
+#include "core/monomial.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fm::core {
+
+unsigned Monomial::degree() const {
+  unsigned total = 0;
+  for (unsigned c : exponents_) total += c;
+  return total;
+}
+
+double Monomial::Evaluate(const linalg::Vector& omega) const {
+  FM_CHECK(omega.size() == exponents_.size());
+  double product = 1.0;
+  for (size_t i = 0; i < exponents_.size(); ++i) {
+    for (unsigned p = 0; p < exponents_[i]; ++p) product *= omega[i];
+  }
+  return product;
+}
+
+std::pair<double, Monomial> Monomial::Derivative(size_t k) const {
+  FM_CHECK(k < exponents_.size());
+  if (exponents_[k] == 0) {
+    return {0.0, Monomial(std::vector<unsigned>(exponents_.size(), 0))};
+  }
+  std::vector<unsigned> exp = exponents_;
+  const double coefficient = static_cast<double>(exp[k]);
+  exp[k] -= 1;
+  return {coefficient, Monomial(std::move(exp))};
+}
+
+std::string Monomial::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < exponents_.size(); ++i) {
+    if (exponents_[i] == 0) continue;
+    if (!out.empty()) out += "*";
+    out += "w" + std::to_string(i + 1);
+    if (exponents_[i] > 1) out += "^" + std::to_string(exponents_[i]);
+  }
+  return out.empty() ? "1" : out;
+}
+
+namespace {
+
+void EnumerateRec(size_t dim, unsigned remaining, size_t index,
+                  std::vector<unsigned>& current,
+                  std::vector<Monomial>& out) {
+  if (index + 1 == dim) {
+    current[index] = remaining;
+    out.emplace_back(current);
+    return;
+  }
+  for (unsigned c = 0; c <= remaining; ++c) {
+    current[index] = c;
+    EnumerateRec(dim, remaining - c, index + 1, current, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Monomial> EnumerateMonomials(size_t dim, unsigned degree) {
+  FM_CHECK(dim > 0);
+  std::vector<Monomial> out;
+  std::vector<unsigned> current(dim, 0);
+  EnumerateRec(dim, degree, 0, current, out);
+  return out;
+}
+
+void PolynomialObjective::AddTerm(const Monomial& monomial,
+                                  double coefficient) {
+  FM_CHECK(monomial.dim() == dim_);
+  for (auto& [existing, coef] : terms_) {
+    if (existing == monomial) {
+      coef += coefficient;
+      return;
+    }
+  }
+  terms_.emplace_back(monomial, coefficient);
+}
+
+double PolynomialObjective::CoefficientOf(const Monomial& monomial) const {
+  for (const auto& [existing, coef] : terms_) {
+    if (existing == monomial) return coef;
+  }
+  return 0.0;
+}
+
+unsigned PolynomialObjective::MaxDegree() const {
+  unsigned best = 0;
+  for (const auto& [monomial, coef] : terms_) {
+    if (coef != 0.0) best = std::max(best, monomial.degree());
+  }
+  return best;
+}
+
+double PolynomialObjective::CoefficientL1Norm() const {
+  double sum = 0.0;
+  for (const auto& [monomial, coef] : terms_) sum += std::fabs(coef);
+  return sum;
+}
+
+double PolynomialObjective::Evaluate(const linalg::Vector& omega) const {
+  double sum = 0.0;
+  for (const auto& [monomial, coef] : terms_) {
+    sum += coef * monomial.Evaluate(omega);
+  }
+  return sum;
+}
+
+linalg::Vector PolynomialObjective::Gradient(
+    const linalg::Vector& omega) const {
+  FM_CHECK(omega.size() == dim_);
+  linalg::Vector grad(dim_);
+  for (const auto& [monomial, coef] : terms_) {
+    if (coef == 0.0) continue;
+    for (size_t k = 0; k < dim_; ++k) {
+      const auto [dcoef, dmono] = monomial.Derivative(k);
+      if (dcoef == 0.0) continue;
+      grad[k] += coef * dcoef * dmono.Evaluate(omega);
+    }
+  }
+  return grad;
+}
+
+void PolynomialObjective::Accumulate(const PolynomialObjective& other) {
+  FM_CHECK(other.dim_ == dim_);
+  for (const auto& [monomial, coef] : other.terms_) AddTerm(monomial, coef);
+}
+
+Result<opt::QuadraticModel> PolynomialObjective::ToQuadraticModel() const {
+  if (MaxDegree() > 2) {
+    return Status::FailedPrecondition(
+        "polynomial has degree > 2; apply Taylor truncation first (§5)");
+  }
+  opt::QuadraticModel model;
+  model.m = linalg::Matrix(dim_, dim_);
+  model.alpha = linalg::Vector(dim_);
+  model.beta = 0.0;
+  for (const auto& [monomial, coef] : terms_) {
+    const unsigned degree = monomial.degree();
+    if (degree == 0) {
+      model.beta += coef;
+    } else if (degree == 1) {
+      for (size_t k = 0; k < dim_; ++k) {
+        if (monomial.exponents()[k] == 1) model.alpha[k] += coef;
+      }
+    } else {
+      // Degree 2: either ω_k² or ω_jω_l (j≠l, split symmetrically).
+      size_t first = dim_, second = dim_;
+      for (size_t k = 0; k < dim_; ++k) {
+        const unsigned e = monomial.exponents()[k];
+        if (e == 2) {
+          first = second = k;
+          break;
+        }
+        if (e == 1) {
+          if (first == dim_) {
+            first = k;
+          } else {
+            second = k;
+          }
+        }
+      }
+      if (first == second) {
+        model.m(first, first) += coef;
+      } else {
+        model.m(first, second) += 0.5 * coef;
+        model.m(second, first) += 0.5 * coef;
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace fm::core

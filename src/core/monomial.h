@@ -1,0 +1,109 @@
+#ifndef FM_CORE_MONOMIAL_H_
+#define FM_CORE_MONOMIAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/vector.h"
+#include "opt/quadratic_model.h"
+
+namespace fm::core {
+
+/// A monomial φ(ω) = ω₁^c₁ · ω₂^c₂ · … · ω_d^c_d over the model parameters —
+/// the paper's φ ∈ Φ_j with j = Σ c_l (Equation 2).
+class Monomial {
+ public:
+  /// Constructs ω^exponents; `exponents` has one entry per parameter.
+  explicit Monomial(std::vector<unsigned> exponents)
+      : exponents_(std::move(exponents)) {}
+
+  /// Number of parameters d.
+  size_t dim() const { return exponents_.size(); }
+
+  /// Total degree j = Σ c_l.
+  unsigned degree() const;
+
+  const std::vector<unsigned>& exponents() const { return exponents_; }
+
+  /// φ(ω). Requires ω.size() == dim().
+  double Evaluate(const linalg::Vector& omega) const;
+
+  /// ∂φ/∂ω_k as (coefficient, monomial) — used to assemble gradients of
+  /// generic polynomial objectives.
+  std::pair<double, Monomial> Derivative(size_t k) const;
+
+  /// "w1^2*w3" style rendering for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Monomial& other) const {
+    return exponents_ == other.exponents_;
+  }
+
+ private:
+  std::vector<unsigned> exponents_;
+};
+
+/// Enumerates Φ_j: all monomials over d parameters with total degree exactly
+/// `degree` (Equation 2). |Φ_j| = C(d+j−1, j); intended for the small d and
+/// j ≤ 2 regression cases plus tests.
+std::vector<Monomial> EnumerateMonomials(size_t dim, unsigned degree);
+
+/// A polynomial objective f_D(ω) = Σ λ_φ φ(ω) in the paper's explicit
+/// coefficient form (Equation 3) — the representation Algorithm 1 perturbs.
+///
+/// The quadratic regressions use opt::QuadraticModel directly for speed;
+/// this generic form backs the public Algorithm-1-for-any-finite-degree API
+/// and the correctness tests that cross-check the two representations.
+class PolynomialObjective {
+ public:
+  /// Creates the zero polynomial over `dim` parameters.
+  explicit PolynomialObjective(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+
+  /// Adds `coefficient`·φ. Merges with an existing identical monomial.
+  /// Aborts when the monomial's dimension mismatches.
+  void AddTerm(const Monomial& monomial, double coefficient);
+
+  /// The coefficient of φ (0 when absent).
+  double CoefficientOf(const Monomial& monomial) const;
+
+  /// All (monomial, coefficient) terms, in insertion order.
+  const std::vector<std::pair<Monomial, double>>& terms() const {
+    return terms_;
+  }
+
+  /// Maximum total degree across terms (0 for the zero polynomial).
+  unsigned MaxDegree() const;
+
+  /// Σ over terms of |coefficient| — the per-tuple L1 mass whose doubled
+  /// max over tuples is Algorithm 1's Δ (Lemma 1).
+  double CoefficientL1Norm() const;
+
+  /// f(ω).
+  double Evaluate(const linalg::Vector& omega) const;
+
+  /// ∇f(ω).
+  linalg::Vector Gradient(const linalg::Vector& omega) const;
+
+  /// Adds another polynomial term-by-term (dimensions must match). Used to
+  /// accumulate Σ_i f(t_i, ω) from per-tuple polynomials.
+  void Accumulate(const PolynomialObjective& other);
+
+  /// Converts a degree ≤ 2 polynomial into the quadratic canonical form
+  /// (cross terms ω_jω_l split symmetrically between M(j,l) and M(l,j)).
+  /// Fails when the degree exceeds 2.
+  Result<opt::QuadraticModel> ToQuadraticModel() const;
+
+ private:
+  size_t dim_;
+  std::vector<std::pair<Monomial, double>> terms_;
+};
+
+}  // namespace fm::core
+
+#endif  // FM_CORE_MONOMIAL_H_

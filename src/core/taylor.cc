@@ -1,0 +1,133 @@
+#include "core/taylor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fm::core {
+
+double LogisticF1Value0() { return std::log(2.0); }
+
+double LogisticF1Derivative0() { return 0.5; }
+
+double LogisticF1SecondDerivative0() { return 0.25; }
+
+double LogisticF1ThirdDerivative(double z) {
+  // (e^z - e^{2z}) / (1 + e^z)^3, evaluated stably via σ = σ(z):
+  // f₁‴ = σ(1-σ)(1-2σ).
+  double sigma;
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    sigma = 1.0 / (1.0 + e);
+  } else {
+    const double e = std::exp(z);
+    sigma = e / (1.0 + e);
+  }
+  return sigma * (1.0 - sigma) * (1.0 - 2.0 * sigma);
+}
+
+double LogisticTaylorErrorBound() {
+  const double e = std::exp(1.0);
+  return (e * e - e) / (6.0 * std::pow(1.0 + e, 3.0));
+}
+
+opt::QuadraticModel BuildTruncatedLogisticObjective(const linalg::Matrix& x,
+                                                    const linalg::Vector& y) {
+  FM_CHECK(x.rows() == y.size());
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  opt::QuadraticModel model;
+  model.m = linalg::Gram(x);
+  model.m *= LogisticF1SecondDerivative0() / 2.0;  // f₁″(0)/2! = 1/8
+
+  // α = f₁′(0)·Σ x_i − Σ y_i x_i.
+  model.alpha = linalg::Vector(d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    const double weight = LogisticF1Derivative0() - y[i];
+    for (size_t j = 0; j < d; ++j) model.alpha[j] += weight * row[j];
+  }
+
+  model.beta = static_cast<double>(n) * LogisticF1Value0();
+  return model;
+}
+
+ChebyshevLogisticCoefficients FitChebyshevLogistic(double radius) {
+  FM_CHECK(radius > 0.0);
+  // Chebyshev series projection: c_k = (2 − δ_{k0})/π ∫₀^π f(r·cosθ)
+  // cos(kθ) dθ, integrated with the midpoint rule (smooth integrand).
+  auto f1 = [](double z) {
+    if (z > 35.0) return z;
+    if (z < -35.0) return std::exp(z);
+    return std::log1p(std::exp(z));
+  };
+  const int kSteps = 20000;
+  double c[3] = {0.0, 0.0, 0.0};
+  const double pi = std::acos(-1.0);
+  for (int i = 0; i < kSteps; ++i) {
+    const double theta = pi * (static_cast<double>(i) + 0.5) / kSteps;
+    const double fz = f1(radius * std::cos(theta));
+    c[0] += fz;
+    c[1] += fz * std::cos(theta);
+    c[2] += fz * std::cos(2.0 * theta);
+  }
+  c[0] *= 1.0 / kSteps;
+  c[1] *= 2.0 / kSteps;
+  c[2] *= 2.0 / kSteps;
+
+  // Convert T₀, T₁(z/r), T₂(z/r) = 2(z/r)² − 1 to monomial coefficients.
+  ChebyshevLogisticCoefficients out;
+  out.radius = radius;
+  out.a0 = c[0] - c[2];
+  out.a1 = c[1] / radius;
+  out.a2 = 2.0 * c[2] / (radius * radius);
+
+  for (int i = 0; i <= 1000; ++i) {
+    const double z = -radius + 2.0 * radius * i / 1000.0;
+    const double approx = out.a0 + out.a1 * z + out.a2 * z * z;
+    out.max_error = std::max(out.max_error, std::fabs(f1(z) - approx));
+  }
+  return out;
+}
+
+opt::QuadraticModel BuildChebyshevLogisticObjective(
+    const linalg::Matrix& x, const linalg::Vector& y,
+    const ChebyshevLogisticCoefficients& coefficients) {
+  FM_CHECK(x.rows() == y.size());
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+
+  opt::QuadraticModel model;
+  model.m = linalg::Gram(x);
+  model.m *= coefficients.a2;
+
+  model.alpha = linalg::Vector(d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.Row(i);
+    const double weight = coefficients.a1 - y[i];
+    for (size_t j = 0; j < d; ++j) model.alpha[j] += weight * row[j];
+  }
+  model.beta = static_cast<double>(n) * coefficients.a0;
+  return model;
+}
+
+double ChebyshevLogisticSensitivity(
+    size_t d, const ChebyshevLogisticCoefficients& coefficients) {
+  const double dd = static_cast<double>(d);
+  return 2.0 * (std::fabs(coefficients.a1) * dd +
+                std::fabs(coefficients.a2) * dd * dd + dd);
+}
+
+opt::QuadraticModel BuildLinearObjective(const linalg::Matrix& x,
+                                         const linalg::Vector& y) {
+  FM_CHECK(x.rows() == y.size());
+  opt::QuadraticModel model;
+  model.m = linalg::Gram(x);
+  model.alpha = linalg::MatTVec(x, y);
+  model.alpha *= -2.0;
+  model.beta = linalg::Dot(y, y);
+  return model;
+}
+
+}  // namespace fm::core

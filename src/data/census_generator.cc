@@ -1,0 +1,205 @@
+#include "data/census_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fm::data {
+
+namespace {
+
+// Canonical column positions; keep in sync with ColumnNames().
+enum Column : size_t {
+  kAge = 0,
+  kGender,
+  kIsSingle,
+  kIsMarried,
+  kEducation,
+  kDisability,
+  kNativity,
+  kWorkHours,
+  kYearsResidence,
+  kOwnDwelling,
+  kFamilySize,
+  kNumChildren,
+  kNumAutomobiles,
+  kAnnualIncome,
+  kNumColumns,
+};
+
+double Clamp(double v, double lo, double hi) { return std::clamp(v, lo, hi); }
+
+}  // namespace
+
+CensusGenerator::Profile CensusGenerator::US() {
+  Profile p;
+  p.name = "US";
+  p.default_rows = 370000;
+  p.income_noise_sd = 0.30;  // noisier income relation -> harder tasks
+  p.education_mean = 13.0;
+  p.education_sd = 3.0;
+  p.w_age = 0.35;
+  p.w_education = 0.85;
+  p.w_hours = 0.65;
+  p.w_gender = -0.18;
+  p.w_own_dwelling = 0.22;
+  p.w_family_size = -0.10;
+  return p;
+}
+
+CensusGenerator::Profile CensusGenerator::Brazil() {
+  Profile p;
+  p.name = "Brazil";
+  p.default_rows = 190000;
+  p.income_noise_sd = 0.18;  // cleaner income relation -> easier logistic
+  p.education_mean = 9.0;
+  p.education_sd = 4.0;
+  p.w_age = 0.30;
+  p.w_education = 1.10;
+  p.w_hours = 0.55;
+  p.w_gender = -0.25;
+  p.w_own_dwelling = 0.30;
+  p.w_family_size = -0.18;
+  return p;
+}
+
+const std::vector<std::string>& CensusGenerator::ColumnNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{
+          "Age",           "Gender",       "IsSingle",
+          "IsMarried",     "Education",    "Disability",
+          "Nativity",      "WorkHoursPerWeek", "YearsResidence",
+          "OwnDwelling",   "FamilySize",   "NumChildren",
+          "NumAutomobiles", "AnnualIncome"};
+  return *kNames;
+}
+
+const std::string& CensusGenerator::LabelColumn() {
+  static const std::string* const kLabel = new std::string("AnnualIncome");
+  return *kLabel;
+}
+
+Result<std::vector<std::string>> CensusGenerator::AttributeSubset(
+    int total_attributes) {
+  // §7: first subset {Age, Gender, Education, FamilySize, Income};
+  // second adds {Nativity, OwnDwelling, NumAutomobiles};
+  // third adds {IsSingle, IsMarried, NumChildren}; fourth is all attributes.
+  switch (total_attributes) {
+    case 5:
+      return std::vector<std::string>{"Age", "Gender", "Education",
+                                      "FamilySize"};
+    case 8:
+      return std::vector<std::string>{"Age",       "Gender",
+                                      "Education", "FamilySize",
+                                      "Nativity",  "OwnDwelling",
+                                      "NumAutomobiles"};
+    case 11:
+      return std::vector<std::string>{
+          "Age",         "Gender",      "Education",      "FamilySize",
+          "Nativity",    "OwnDwelling", "NumAutomobiles", "IsSingle",
+          "IsMarried",   "NumChildren"};
+    case 14: {
+      std::vector<std::string> all = ColumnNames();
+      all.pop_back();  // drop the label
+      return all;
+    }
+    default:
+      return Status::InvalidArgument(
+          "total_attributes must be one of {5, 8, 11, 14}, got " +
+          std::to_string(total_attributes));
+  }
+}
+
+Result<Table> CensusGenerator::Generate(const Profile& profile, size_t rows,
+                                        uint64_t seed) {
+  if (rows == 0) return Status::InvalidArgument("rows must be positive");
+  FM_ASSIGN_OR_RETURN(Table table, Table::Create(ColumnNames()));
+  table.ResizeRows(rows);
+  Rng rng(seed);
+
+  for (size_t i = 0; i < rows; ++i) {
+    // Latent socioeconomic factor shared by education/hours/assets/income.
+    const double ses = rng.Gaussian();
+
+    const double age = Clamp(rng.Gaussian(42.0, 15.0), 18.0, 95.0);
+    const double age01 = (age - 18.0) / 77.0;
+
+    const double gender = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+
+    const double education = Clamp(
+        rng.Gaussian(profile.education_mean + 2.0 * ses, profile.education_sd),
+        0.0, 18.0);
+    const double edu01 = education / 18.0;
+
+    const double disability =
+        rng.Bernoulli(0.04 + 0.12 * age01) ? 1.0 : 0.0;
+    const double nativity = rng.Bernoulli(0.82) ? 1.0 : 0.0;
+
+    // Marital status from age: young → single, middle-aged → married.
+    const double p_single = Clamp(0.95 - 1.6 * age01, 0.05, 0.95);
+    const double p_married = Clamp(0.15 + 1.1 * age01 - 0.45 * age01 * age01,
+                                   0.03, 0.80);
+    double is_single = 0.0, is_married = 0.0;
+    const double u = rng.Uniform();
+    if (u < p_single) {
+      is_single = 1.0;
+    } else if (u < p_single + p_married) {
+      is_married = 1.0;
+    }  // else divorced/widowed: both flags zero, like the paper's encoding.
+
+    double hours = rng.Gaussian(40.0 + 4.0 * ses, 9.0);
+    if (disability > 0.5) hours *= 0.45;
+    if (age > 67.0) hours *= 0.35;
+    hours = Clamp(hours, 0.0, 80.0);
+    const double hours01 = hours / 80.0;
+
+    const double years_residence =
+        Clamp(rng.Gaussian(6.0 + 22.0 * age01, 6.0), 0.0, 50.0);
+
+    const double own_dwelling =
+        rng.Bernoulli(Clamp(0.18 + 0.35 * age01 + 0.16 * ses, 0.02, 0.97))
+            ? 1.0
+            : 0.0;
+
+    const double family_size = Clamp(
+        std::round(1.0 + is_married * 1.4 + rng.Gamma(1.6, 1.0)), 1.0, 12.0);
+    const double num_children = Clamp(
+        std::round(is_married * 1.2 + 0.5 * (family_size - 2.0) +
+                   rng.Gaussian(0.0, 0.7)),
+        0.0, 8.0);
+    const double num_autos = Clamp(
+        std::round(0.6 + 0.9 * own_dwelling + 0.5 * ses + rng.Gaussian(0.0, 0.6)),
+        0.0, 5.0);
+
+    // Income score: planted linear signal + profile noise, mapped through a
+    // mild convexity to a dollar-like range with a long right tail.
+    const double score = profile.w_age * age01 +
+                         profile.w_education * edu01 +
+                         profile.w_hours * hours01 +
+                         profile.w_gender * gender +
+                         profile.w_own_dwelling * own_dwelling +
+                         profile.w_family_size * (family_size / 12.0) +
+                         0.08 * nativity - 0.15 * disability +
+                         rng.Gaussian(0.0, profile.income_noise_sd);
+    const double income =
+        Clamp(12000.0 + 52000.0 * score + 9000.0 * score * std::fabs(score),
+              0.0, 350000.0);
+
+    table.Set(i, kAge, age);
+    table.Set(i, kGender, gender);
+    table.Set(i, kIsSingle, is_single);
+    table.Set(i, kIsMarried, is_married);
+    table.Set(i, kEducation, education);
+    table.Set(i, kDisability, disability);
+    table.Set(i, kNativity, nativity);
+    table.Set(i, kWorkHours, hours);
+    table.Set(i, kYearsResidence, years_residence);
+    table.Set(i, kOwnDwelling, own_dwelling);
+    table.Set(i, kFamilySize, family_size);
+    table.Set(i, kNumChildren, num_children);
+    table.Set(i, kNumAutomobiles, num_autos);
+    table.Set(i, kAnnualIncome, income);
+  }
+  return table;
+}
+
+}  // namespace fm::data

@@ -1,0 +1,92 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fm::data {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  // A trailing comma means a trailing empty field.
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const auto& names = table.column_names();
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (c) out << ',';
+    out << names[c];
+  }
+  out << '\n';
+  out.precision(17);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c) out << ',';
+      out << table.Get(r, c);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty CSV: " + path);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  FM_ASSIGN_OR_RETURN(Table table, Table::Create(SplitLine(line)));
+
+  // Accumulate flat row-major cells, then bulk-load (AppendRow per line
+  // would reallocate the backing matrix quadratically on large files).
+  std::vector<double> cells;
+  size_t num_rows = 0;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = SplitLine(line);
+    if (fields.size() != table.num_cols()) {
+      return Status::IoError("ragged row at line " +
+                             std::to_string(line_number) + " in " + path);
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(fields[c].c_str(), &end);
+      if (errno != 0 || end == fields[c].c_str()) {
+        return Status::IoError("non-numeric cell at line " +
+                               std::to_string(line_number) + ", column " +
+                               std::to_string(c) + " in " + path);
+      }
+      cells.push_back(v);
+    }
+    ++num_rows;
+  }
+  table.ResizeRows(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      table.Set(r, c, cells[r * table.num_cols() + c]);
+    }
+  }
+  return table;
+}
+
+}  // namespace fm::data

@@ -1,0 +1,22 @@
+#ifndef FM_DATA_CSV_H_
+#define FM_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace fm::data {
+
+/// Writes `table` as an RFC-4180-style CSV (header row of column names,
+/// numeric cells with full double precision). Overwrites an existing file.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a numeric CSV with a header row into a Table. Fails on missing
+/// files, ragged rows, or non-numeric cells.
+Result<Table> ReadCsv(const std::string& path);
+
+}  // namespace fm::data
+
+#endif  // FM_DATA_CSV_H_

@@ -1,0 +1,104 @@
+#include "data/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fm::data {
+
+Result<Normalizer> Normalizer::Fit(
+    const Table& table, const std::vector<std::string>& feature_columns,
+    const std::string& label_column, const Options& options) {
+  if (table.num_rows() == 0) {
+    return Status::FailedPrecondition("cannot fit a normalizer on an empty table");
+  }
+  if (feature_columns.empty()) {
+    return Status::InvalidArgument("at least one feature column is required");
+  }
+  Normalizer norm;
+  norm.options_ = options;
+  norm.feature_columns_ = feature_columns;
+  norm.label_column_ = label_column;
+
+  for (const auto& name : feature_columns) {
+    FM_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+    FM_ASSIGN_OR_RETURN(double lo, table.ColumnMin(idx));
+    FM_ASSIGN_OR_RETURN(double hi, table.ColumnMax(idx));
+    norm.feature_ranges_.emplace_back(lo, hi);
+  }
+
+  FM_ASSIGN_OR_RETURN(size_t label_idx, table.ColumnIndex(label_column));
+  FM_ASSIGN_OR_RETURN(double ylo, table.ColumnMin(label_idx));
+  FM_ASSIGN_OR_RETURN(double yhi, table.ColumnMax(label_idx));
+  norm.label_range_ = {ylo, yhi};
+
+  if (options.task == TaskKind::kLogistic) {
+    if (std::isnan(options.logistic_threshold)) {
+      // Median of the label column.
+      std::vector<double> labels(table.num_rows());
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        labels[r] = table.Get(r, label_idx);
+      }
+      std::nth_element(labels.begin(), labels.begin() + labels.size() / 2,
+                       labels.end());
+      norm.logistic_threshold_ = labels[labels.size() / 2];
+    } else {
+      norm.logistic_threshold_ = options.logistic_threshold;
+    }
+  }
+  return norm;
+}
+
+Result<RegressionDataset> Normalizer::Apply(const Table& table) const {
+  std::vector<size_t> feature_idx;
+  feature_idx.reserve(feature_columns_.size());
+  for (const auto& name : feature_columns_) {
+    FM_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+    feature_idx.push_back(idx);
+  }
+  FM_ASSIGN_OR_RETURN(size_t label_idx, table.ColumnIndex(label_column_));
+
+  const size_t n = table.num_rows();
+  const size_t d = feature_columns_.size();
+  // Footnote-2 intercept extension: budget the unit sphere across d+1
+  // coordinates and spend the last one on a constant.
+  const size_t d_eff = options_.add_intercept ? d + 1 : d;
+  const double sqrt_d = std::sqrt(static_cast<double>(d_eff));
+
+  RegressionDataset out;
+  out.x = linalg::Matrix(n, d_eff);
+  out.y = linalg::Vector(n);
+
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < d; ++j) {
+      const auto [lo, hi] = feature_ranges_[j];
+      double v = 0.0;
+      if (hi > lo) {
+        v = (table.Get(r, feature_idx[j]) - lo) / ((hi - lo) * sqrt_d);
+        // Clamp unseen out-of-range values to keep ‖x‖ ≤ 1.
+        v = std::clamp(v, 0.0, 1.0 / sqrt_d);
+      }
+      out.x(r, j) = v;
+    }
+    if (options_.add_intercept) out.x(r, d) = 1.0 / sqrt_d;
+    const double raw_y = table.Get(r, label_idx);
+    if (options_.task == TaskKind::kLogistic) {
+      out.y[r] = raw_y > logistic_threshold_ ? 1.0 : 0.0;
+    } else {
+      const auto [ylo, yhi] = label_range_;
+      double v = 0.0;
+      if (yhi > ylo) {
+        v = 2.0 * (raw_y - ylo) / (yhi - ylo) - 1.0;
+        v = std::clamp(v, -1.0, 1.0);
+      }
+      out.y[r] = v;
+    }
+  }
+  return out;
+}
+
+double Normalizer::DenormalizeLabel(double normalized) const {
+  const auto [ylo, yhi] = label_range_;
+  return ylo + (normalized + 1.0) * 0.5 * (yhi - ylo);
+}
+
+}  // namespace fm::data

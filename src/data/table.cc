@@ -1,0 +1,99 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace fm::data {
+
+Result<Table> Table::Create(std::vector<std::string> column_names) {
+  std::set<std::string> seen;
+  for (const auto& name : column_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("column names must be non-empty");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate column name: " + name);
+    }
+  }
+  Table t;
+  t.column_names_ = std::move(column_names);
+  t.values_ = linalg::Matrix(0, t.column_names_.size());
+  return t;
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+void Table::AppendRow(const std::vector<double>& row) {
+  FM_CHECK(row.size() == column_names_.size());
+  linalg::Matrix next(values_.rows() + 1, column_names_.size());
+  std::copy(values_.data().begin(), values_.data().end(),
+            next.data().begin());
+  for (size_t c = 0; c < row.size(); ++c) next(values_.rows(), c) = row[c];
+  values_ = std::move(next);
+}
+
+void Table::ResizeRows(size_t n) {
+  linalg::Matrix next(n, column_names_.size());
+  const size_t keep = std::min(n, values_.rows());
+  std::copy(values_.data().begin(),
+            values_.data().begin() + keep * column_names_.size(),
+            next.data().begin());
+  values_ = std::move(next);
+}
+
+Table Table::SelectRows(const std::vector<size_t>& rows) const {
+  Table out;
+  out.column_names_ = column_names_;
+  out.values_ = linalg::Matrix(rows.size(), num_cols());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    FM_CHECK(rows[r] < num_rows());
+    for (size_t c = 0; c < num_cols(); ++c) {
+      out.values_(r, c) = values_(rows[r], c);
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::SelectColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) {
+    FM_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(name));
+    indices.push_back(idx);
+  }
+  Table out;
+  out.column_names_ = names;
+  out.values_ = linalg::Matrix(num_rows(), names.size());
+  for (size_t r = 0; r < num_rows(); ++r) {
+    for (size_t c = 0; c < indices.size(); ++c) {
+      out.values_(r, c) = values_(r, indices[c]);
+    }
+  }
+  return out;
+}
+
+Result<double> Table::ColumnMin(size_t col) const {
+  if (col >= num_cols()) return Status::OutOfRange("bad column index");
+  if (num_rows() == 0) return Status::FailedPrecondition("empty table");
+  double best = values_(0, col);
+  for (size_t r = 1; r < num_rows(); ++r) best = std::min(best, values_(r, col));
+  return best;
+}
+
+Result<double> Table::ColumnMax(size_t col) const {
+  if (col >= num_cols()) return Status::OutOfRange("bad column index");
+  if (num_rows() == 0) return Status::FailedPrecondition("empty table");
+  double best = values_(0, col);
+  for (size_t r = 1; r < num_rows(); ++r) best = std::max(best, values_(r, col));
+  return best;
+}
+
+}  // namespace fm::data

@@ -1,0 +1,68 @@
+#ifndef FM_DATA_TABLE_H_
+#define FM_DATA_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace fm::data {
+
+/// A named, untyped-numeric table of microdata — the raw form produced by the
+/// census generator or a CSV load, before the §3 normalization turns it into
+/// a `RegressionDataset`.
+///
+/// All attributes are stored as doubles; binary and categorical attributes
+/// use integer-valued doubles. Column names are unique.
+class Table {
+ public:
+  Table() = default;
+
+  /// Creates a table with the given column names and zero rows.
+  static Result<Table> Create(std::vector<std::string> column_names);
+
+  size_t num_rows() const { return values_.rows(); }
+  size_t num_cols() const { return values_.cols(); }
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  /// Index of a named column, or kNotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Cell accessors (unchecked).
+  double Get(size_t row, size_t col) const { return values_(row, col); }
+  void Set(size_t row, size_t col, double v) { values_(row, col) = v; }
+
+  /// The backing matrix (rows = tuples).
+  const linalg::Matrix& values() const { return values_; }
+
+  /// Appends a row; aborts if the arity mismatches.
+  void AppendRow(const std::vector<double>& row);
+
+  /// Pre-allocates storage for `n` rows (all zero); faster than repeated
+  /// AppendRow for generators that then use Set.
+  void ResizeRows(size_t n);
+
+  /// Returns a new table with only the rows whose indices are listed.
+  Table SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Returns a new table with only the named columns (in the given order).
+  Result<Table> SelectColumns(const std::vector<std::string>& names) const;
+
+  /// Column min / max over all rows. Fails on an empty table or bad index.
+  Result<double> ColumnMin(size_t col) const;
+  Result<double> ColumnMax(size_t col) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  linalg::Matrix values_;
+};
+
+}  // namespace fm::data
+
+#endif  // FM_DATA_TABLE_H_

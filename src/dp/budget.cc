@@ -1,0 +1,30 @@
+#include "dp/budget.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fm::dp {
+
+PrivacyAccountant::PrivacyAccountant(double total_epsilon)
+    : total_epsilon_(total_epsilon) {
+  FM_CHECK(total_epsilon > 0.0 && std::isfinite(total_epsilon));
+}
+
+Status PrivacyAccountant::Charge(double epsilon, const std::string& label) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("charge must be finite and positive");
+  }
+  // Tolerate round-off when exhausting the budget exactly.
+  if (epsilon > remaining_epsilon() + 1e-12) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted: requested " + std::to_string(epsilon) +
+        ", remaining " + std::to_string(remaining_epsilon()) + " (" + label +
+        ")");
+  }
+  spent_epsilon_ += epsilon;
+  charges_.push_back(ChargeRecord{epsilon, label});
+  return Status::OK();
+}
+
+}  // namespace fm::dp

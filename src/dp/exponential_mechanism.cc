@@ -1,0 +1,50 @@
+#include "dp/exponential_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fm::dp {
+
+Result<ExponentialMechanism> ExponentialMechanism::Create(
+    double epsilon, double score_sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and positive");
+  }
+  if (!(score_sensitivity > 0.0) || !std::isfinite(score_sensitivity)) {
+    return Status::InvalidArgument(
+        "score sensitivity must be finite and positive");
+  }
+  return ExponentialMechanism(epsilon, score_sensitivity);
+}
+
+Result<std::vector<double>> ExponentialMechanism::SelectionProbabilities(
+    const std::vector<double>& scores) const {
+  if (scores.empty()) {
+    return Status::InvalidArgument("candidate set must be non-empty");
+  }
+  double max_score = scores.front();
+  for (double s : scores) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument("scores must be finite");
+    }
+    max_score = std::max(max_score, s);
+  }
+  const double gain = epsilon_ / (2.0 * score_sensitivity_);
+  std::vector<double> probabilities(scores.size());
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    probabilities[i] = std::exp(gain * (scores[i] - max_score));
+    total += probabilities[i];
+  }
+  for (auto& p : probabilities) p /= total;
+  return probabilities;
+}
+
+Result<size_t> ExponentialMechanism::Select(const std::vector<double>& scores,
+                                            Rng& rng) const {
+  FM_ASSIGN_OR_RETURN(std::vector<double> probabilities,
+                      SelectionProbabilities(scores));
+  return rng.Categorical(probabilities);
+}
+
+}  // namespace fm::dp

@@ -1,0 +1,50 @@
+#ifndef FM_DP_EXPONENTIAL_MECHANISM_H_
+#define FM_DP_EXPONENTIAL_MECHANISM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fm::dp {
+
+/// The exponential mechanism of McSherry & Talwar (FOCS'07) — §2's second
+/// foundational DP primitive, complementing the Laplace mechanism for
+/// discrete output spaces.
+///
+/// Given candidate scores q(D, r) with sensitivity S(q) (the max change of
+/// any score between neighbor databases), releasing candidate r with
+/// probability ∝ exp(ε·q(D,r)/(2·S(q))) is ε-differentially private.
+class ExponentialMechanism {
+ public:
+  /// Creates a mechanism. Fails when epsilon <= 0 or sensitivity <= 0 or
+  /// either is non-finite.
+  static Result<ExponentialMechanism> Create(double epsilon,
+                                             double score_sensitivity);
+
+  double epsilon() const { return epsilon_; }
+  double score_sensitivity() const { return score_sensitivity_; }
+
+  /// Samples a candidate index with probability ∝ exp(ε·score/(2S)).
+  /// Scores may be any finite reals; they are shifted by the maximum before
+  /// exponentiation for numerical stability. Fails on an empty candidate
+  /// set or non-finite scores.
+  Result<size_t> Select(const std::vector<double>& scores, Rng& rng) const;
+
+  /// The exact selection probabilities (for tests and diagnostics).
+  Result<std::vector<double>> SelectionProbabilities(
+      const std::vector<double>& scores) const;
+
+ private:
+  ExponentialMechanism(double epsilon, double score_sensitivity)
+      : epsilon_(epsilon), score_sensitivity_(score_sensitivity) {}
+
+  double epsilon_;
+  double score_sensitivity_;
+};
+
+}  // namespace fm::dp
+
+#endif  // FM_DP_EXPONENTIAL_MECHANISM_H_

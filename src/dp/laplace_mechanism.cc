@@ -1,0 +1,48 @@
+#include "dp/laplace_mechanism.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fm::dp {
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
+                                                  double l1_sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and positive");
+  }
+  if (!(l1_sensitivity > 0.0) || !std::isfinite(l1_sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be finite and positive");
+  }
+  return LaplaceMechanism(epsilon, l1_sensitivity);
+}
+
+double LaplaceMechanism::NoiseStddev() const {
+  return scale_ * std::sqrt(2.0);
+}
+
+double LaplaceMechanism::Perturb(double value, Rng& rng) const {
+  return value + rng.Laplace(scale_);
+}
+
+linalg::Vector LaplaceMechanism::Perturb(const linalg::Vector& v,
+                                         Rng& rng) const {
+  linalg::Vector out = v;
+  for (auto& x : out) x += rng.Laplace(scale_);
+  return out;
+}
+
+linalg::Matrix LaplaceMechanism::PerturbSymmetric(const linalg::Matrix& m,
+                                                  Rng& rng) const {
+  FM_CHECK(m.rows() == m.cols());
+  linalg::Matrix out = m;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = r; c < m.cols(); ++c) {
+      out(r, c) += rng.Laplace(scale_);
+    }
+  }
+  out.SymmetrizeFromUpper();
+  return out;
+}
+
+}  // namespace fm::dp

@@ -1,0 +1,59 @@
+#ifndef FM_DP_LAPLACE_MECHANISM_H_
+#define FM_DP_LAPLACE_MECHANISM_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fm::dp {
+
+/// The Laplace mechanism of Dwork et al. (TCC'06), the randomizer underlying
+/// the Functional Mechanism, DPME and FP.
+///
+/// Given a query with L1 sensitivity `l1_sensitivity` and privacy budget
+/// `epsilon`, each released value receives i.i.d. Lap(l1_sensitivity/epsilon)
+/// noise. Construction validates the parameters; the sampling methods are
+/// deterministic functions of the provided Rng state.
+class LaplaceMechanism {
+ public:
+  /// Creates a mechanism. Fails when epsilon <= 0 or sensitivity <= 0 or
+  /// either is non-finite.
+  static Result<LaplaceMechanism> Create(double epsilon, double l1_sensitivity);
+
+  /// The Laplace scale b = sensitivity / epsilon.
+  double scale() const { return scale_; }
+
+  /// The standard deviation of the injected noise, b·√2. Used by the paper's
+  /// §6.1 regularization rule λ = 4·stddev.
+  double NoiseStddev() const;
+
+  double epsilon() const { return epsilon_; }
+  double l1_sensitivity() const { return l1_sensitivity_; }
+
+  /// Returns value + Lap(b).
+  double Perturb(double value, Rng& rng) const;
+
+  /// Perturbs every element of `v` with independent noise.
+  linalg::Vector Perturb(const linalg::Vector& v, Rng& rng) const;
+
+  /// Perturbs a symmetric matrix the way §6.1 prescribes: independent noise
+  /// on the upper triangle (including the diagonal), mirrored to the lower
+  /// triangle so the result stays symmetric. Requires a square matrix.
+  linalg::Matrix PerturbSymmetric(const linalg::Matrix& m, Rng& rng) const;
+
+ private:
+  LaplaceMechanism(double epsilon, double l1_sensitivity)
+      : epsilon_(epsilon),
+        l1_sensitivity_(l1_sensitivity),
+        scale_(l1_sensitivity / epsilon) {}
+
+  double epsilon_;
+  double l1_sensitivity_;
+  double scale_;
+};
+
+}  // namespace fm::dp
+
+#endif  // FM_DP_LAPLACE_MECHANISM_H_

@@ -1,0 +1,71 @@
+#include "eval/cross_validation.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "eval/stopwatch.h"
+
+namespace fm::eval {
+
+Result<CvResult> CrossValidate(const baselines::RegressionAlgorithm& algorithm,
+                               const data::RegressionDataset& dataset,
+                               data::TaskKind task, const CvOptions& options) {
+  if (options.folds < 2) {
+    return Status::InvalidArgument("cross-validation needs >= 2 folds");
+  }
+  if (dataset.size() < options.folds) {
+    return Status::FailedPrecondition("dataset smaller than fold count");
+  }
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("repeats must be >= 1");
+  }
+
+  CvResult result;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double time_sum = 0.0;
+  Status last_failure = Status::OK();
+
+  for (size_t repeat = 0; repeat < options.repeats; ++repeat) {
+    Rng fold_rng(DeriveSeed(options.seed, repeat * 2));
+    Rng train_rng(DeriveSeed(options.seed, repeat * 2 + 1));
+    const auto splits =
+        data::KFoldSplits(dataset.size(), options.folds, fold_rng);
+    for (const auto& split : splits) {
+      const data::RegressionDataset train = dataset.Select(split.train);
+      const data::RegressionDataset test = dataset.Select(split.test);
+
+      Stopwatch watch;
+      Result<baselines::TrainedModel> trained =
+          algorithm.Train(train, task, train_rng);
+      const double seconds = watch.Seconds();
+      if (!trained.ok()) {
+        ++result.failures;
+        last_failure = trained.status();
+        continue;
+      }
+      const double error = TaskError(task, trained.ValueOrDie().omega, test);
+      sum += error;
+      sum_sq += error * error;
+      time_sum += seconds;
+      ++result.evaluations;
+    }
+  }
+
+  if (result.evaluations == 0) {
+    return Status::Internal("every cross-validation fold failed; last: " +
+                            last_failure.ToString());
+  }
+  const double n = static_cast<double>(result.evaluations);
+  result.mean_error = sum / n;
+  result.mean_train_seconds = time_sum / n;
+  if (result.evaluations > 1) {
+    const double variance =
+        std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0));
+    result.stddev_error = std::sqrt(variance);
+  }
+  return result;
+}
+
+}  // namespace fm::eval

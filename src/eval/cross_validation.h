@@ -1,0 +1,48 @@
+#ifndef FM_EVAL_CROSS_VALIDATION_H_
+#define FM_EVAL_CROSS_VALIDATION_H_
+
+#include <cstdint>
+
+#include "baselines/regression_algorithm.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+
+namespace fm::eval {
+
+/// §7's evaluation protocol: repeated k-fold cross-validation (the paper
+/// uses 5-fold × 50 repeats; the repository defaults are environment-tunable
+/// — see experiment.h).
+struct CvOptions {
+  size_t folds = 5;
+  size_t repeats = 3;
+  uint64_t seed = 0x5eedf01d;
+};
+
+/// Aggregated outcome of one algorithm over all folds × repeats.
+struct CvResult {
+  /// Mean of the per-fold §7 metric (MSE or misclassification rate).
+  double mean_error = 0.0;
+  /// Sample standard deviation of the per-fold metric.
+  double stddev_error = 0.0;
+  /// Mean wall-clock training time per fold, seconds (§7.4's metric).
+  double mean_train_seconds = 0.0;
+  /// folds × repeats that produced a model.
+  size_t evaluations = 0;
+  /// Train() invocations that returned an error (excluded from the means).
+  size_t failures = 0;
+};
+
+/// Runs `algorithm` through repeated k-fold cross-validation on `dataset`.
+/// Per-fold randomness (fold assignment and mechanism noise) is derived
+/// deterministically from options.seed. Individual Train failures are
+/// tolerated and counted; the call fails only when every fold fails or the
+/// dataset is too small for the requested fold count.
+Result<CvResult> CrossValidate(const baselines::RegressionAlgorithm& algorithm,
+                               const data::RegressionDataset& dataset,
+                               data::TaskKind task, const CvOptions& options);
+
+}  // namespace fm::eval
+
+#endif  // FM_EVAL_CROSS_VALIDATION_H_

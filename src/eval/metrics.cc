@@ -1,0 +1,43 @@
+#include "eval/metrics.h"
+
+#include "common/logging.h"
+#include "opt/logistic_loss.h"
+
+namespace fm::eval {
+
+double MeanSquaredError(const linalg::Vector& omega,
+                        const data::RegressionDataset& dataset) {
+  FM_CHECK(dataset.size() > 0 && omega.size() == dataset.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const double* row = dataset.x.Row(i);
+    double pred = 0.0;
+    for (size_t j = 0; j < dataset.dim(); ++j) pred += row[j] * omega[j];
+    const double err = dataset.y[i] - pred;
+    sum += err * err;
+  }
+  return sum / static_cast<double>(dataset.size());
+}
+
+double MisclassificationRate(const linalg::Vector& omega,
+                             const data::RegressionDataset& dataset) {
+  FM_CHECK(dataset.size() > 0 && omega.size() == dataset.dim());
+  size_t wrong = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const double* row = dataset.x.Row(i);
+    double z = 0.0;
+    for (size_t j = 0; j < dataset.dim(); ++j) z += row[j] * omega[j];
+    const double predicted = opt::Sigmoid(z) > 0.5 ? 1.0 : 0.0;
+    if (predicted != dataset.y[i]) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(dataset.size());
+}
+
+double TaskError(data::TaskKind task, const linalg::Vector& omega,
+                 const data::RegressionDataset& dataset) {
+  return task == data::TaskKind::kLinear
+             ? MeanSquaredError(omega, dataset)
+             : MisclassificationRate(omega, dataset);
+}
+
+}  // namespace fm::eval

@@ -1,0 +1,25 @@
+#ifndef FM_EVAL_METRICS_H_
+#define FM_EVAL_METRICS_H_
+
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "linalg/vector.h"
+
+namespace fm::eval {
+
+/// §7's linear-task accuracy metric: (1/n) Σ (y_i − x_iᵀω)².
+double MeanSquaredError(const linalg::Vector& omega,
+                        const data::RegressionDataset& dataset);
+
+/// §7's logistic-task accuracy metric: the fraction of tuples whose
+/// predicted class (σ(xᵀω) > 0.5) differs from the label.
+double MisclassificationRate(const linalg::Vector& omega,
+                             const data::RegressionDataset& dataset);
+
+/// Dispatches to the task's §7 metric.
+double TaskError(data::TaskKind task, const linalg::Vector& omega,
+                 const data::RegressionDataset& dataset);
+
+}  // namespace fm::eval
+
+#endif  // FM_EVAL_METRICS_H_

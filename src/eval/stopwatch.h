@@ -1,0 +1,29 @@
+#ifndef FM_EVAL_STOPWATCH_H_
+#define FM_EVAL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fm::eval {
+
+/// Wall-clock stopwatch for the §7.4 computation-time figures.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the clock.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the clock.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fm::eval
+
+#endif  // FM_EVAL_STOPWATCH_H_

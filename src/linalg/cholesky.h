@@ -1,0 +1,48 @@
+#ifndef FM_LINALG_CHOLESKY_H_
+#define FM_LINALG_CHOLESKY_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fm::linalg {
+
+/// Cholesky factorization A = L Lᵀ of a symmetric positive-definite matrix.
+///
+/// The factorization doubles as the library's positive-definiteness test:
+/// `Cholesky::Compute` fails with kNumericalError exactly when A is not
+/// (numerically) positive definite — this is how the Functional Mechanism's
+/// post-processing decides whether spectral trimming is needed.
+class Cholesky {
+ public:
+  /// Factorizes `a` (must be square and symmetric). Returns kNumericalError
+  /// when a non-positive pivot is encountered (A not positive definite),
+  /// kInvalidArgument when `a` is not square/symmetric.
+  static Result<Cholesky> Compute(const Matrix& a);
+
+  /// The lower-triangular factor L.
+  const Matrix& L() const { return l_; }
+
+  /// Solves A x = b via the two triangular solves. `b` must match A's size.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// log(det A) = 2 Σ log L(i,i); always finite for a valid factorization.
+  double LogDeterminant() const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+
+  Matrix l_;
+};
+
+/// Convenience: true iff `a` is symmetric positive definite (Cholesky
+/// succeeds).
+bool IsPositiveDefinite(const Matrix& a);
+
+}  // namespace fm::linalg
+
+#endif  // FM_LINALG_CHOLESKY_H_

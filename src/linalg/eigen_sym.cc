@@ -1,0 +1,107 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace fm::linalg {
+
+Matrix SymmetricEigen::Reconstruct() const {
+  const size_t n = eigenvalues.size();
+  Matrix out(n, n);
+  // Qᵀ Λ Q = Σ_k λ_k q_k q_kᵀ with q_k the k-th row of Q.
+  for (size_t k = 0; k < n; ++k) {
+    AddOuterProduct(out, eigenvectors.RowVector(k), eigenvalues[k]);
+  }
+  return out;
+}
+
+Result<SymmetricEigen> EigenSym(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("EigenSym requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-9 * (1.0 + a.MaxAbs()))) {
+    return Status::InvalidArgument("EigenSym requires a symmetric matrix");
+  }
+  const size_t n = a.rows();
+  Matrix m = a;        // working copy, driven to diagonal
+  Matrix v = Matrix::Identity(n);  // accumulated rotations, columns = eigvecs
+
+  auto off_diagonal_norm = [&]() {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) sum += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * sum);
+  };
+
+  const double scale = std::max(1.0, a.MaxAbs());
+  const double tol = 1e-14 * scale * static_cast<double>(n);
+
+  int sweep = 0;
+  while (off_diagonal_norm() > tol) {
+    if (++sweep > max_sweeps) {
+      return Status::NumericalError("Jacobi sweeps did not converge");
+    }
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        // Stable rotation computation (Golub & Van Loan).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Update rows/columns p and q of the symmetric working matrix.
+        for (size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(p, k) = m(k, p);
+          m(k, q) = s * mkp + c * mkq;
+          m(q, k) = m(k, q);
+        }
+        m(p, p) = app - t * apq;
+        m(q, q) = aqq + t * apq;
+        m(p, q) = 0.0;
+        m(q, p) = 0.0;
+
+        // Accumulate the rotation into the eigenvector columns.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return m(i, i) > m(j, j); });
+
+  SymmetricEigen out;
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t src = order[r];
+    out.eigenvalues[r] = m(src, src);
+    // Column `src` of v is the eigenvector; store as row r of Q.
+    for (size_t cidx = 0; cidx < n; ++cidx) {
+      out.eigenvectors(r, cidx) = v(cidx, src);
+    }
+  }
+  return out;
+}
+
+}  // namespace fm::linalg

@@ -1,0 +1,34 @@
+#ifndef FM_LINALG_EIGEN_SYM_H_
+#define FM_LINALG_EIGEN_SYM_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fm::linalg {
+
+/// Eigendecomposition A = Qᵀ Λ Q of a real symmetric matrix, where the rows
+/// of Q are orthonormal eigenvectors (the paper's §6.2 convention) and Λ is
+/// diagonal with the corresponding eigenvalues.
+struct SymmetricEigen {
+  /// Eigenvalues in descending order.
+  Vector eigenvalues;
+  /// Row i is the unit eigenvector for eigenvalues[i]; Q Qᵀ = I.
+  Matrix eigenvectors;
+
+  /// Reconstructs Qᵀ Λ Q (testing / diagnostics).
+  Matrix Reconstruct() const;
+};
+
+/// Computes the full eigendecomposition of symmetric `a` with the cyclic
+/// Jacobi rotation method. Robust and accurate for the moderate dimensions
+/// used in regression (d up to a few hundred).
+///
+/// Fails with kInvalidArgument when `a` is not square/symmetric, and with
+/// kNumericalError if the sweep limit is exceeded (pathological input).
+Result<SymmetricEigen> EigenSym(const Matrix& a, int max_sweeps = 64);
+
+}  // namespace fm::linalg
+
+#endif  // FM_LINALG_EIGEN_SYM_H_

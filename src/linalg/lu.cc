@@ -1,0 +1,88 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fm::linalg {
+
+Result<Lu> Lu::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      const double cand = std::fabs(lu(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (!(best > 0.0) || !std::isfinite(best)) {
+      return Status::NumericalError("matrix is singular at column " +
+                                    std::to_string(k));
+    }
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+    const double pivot_value = lu(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) / pivot_value;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) lu(i, c) -= factor * lu(k, c);
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign);
+}
+
+Vector Lu::Solve(const Vector& b) const {
+  const size_t n = lu_.rows();
+  FM_CHECK(b.size() == n);
+  // Apply permutation, then forward substitution with unit-lower L.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (size_t k = 0; k < i; ++k) sum -= lu_(i, k) * y[k];
+    y[i] = sum;
+  }
+  // Back substitution with U.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= lu_(ii, k) * x[k];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::Solve(const Matrix& b) const {
+  FM_CHECK(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    Vector col = Solve(b.ColVector(c));
+    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Matrix Lu::Inverse() const { return Solve(Matrix::Identity(lu_.rows())); }
+
+double Lu::Determinant() const {
+  double det = sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace fm::linalg

@@ -1,0 +1,46 @@
+#ifndef FM_LINALG_LU_H_
+#define FM_LINALG_LU_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fm::linalg {
+
+/// LU factorization with partial pivoting: P A = L U.
+///
+/// General square solver used for non-symmetric systems and as an
+/// independent cross-check of the Cholesky path in tests.
+class Lu {
+ public:
+  /// Factorizes `a` (must be square). Fails with kNumericalError when `a` is
+  /// numerically singular.
+  static Result<Lu> Compute(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// Returns A⁻¹ (solve against the identity).
+  Matrix Inverse() const;
+
+  /// det(A), including the pivot sign.
+  double Determinant() const;
+
+ private:
+  Lu(Matrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                 // packed L (unit lower) and U
+  std::vector<size_t> perm_;  // row permutation
+  int sign_;                  // permutation parity, for the determinant
+};
+
+}  // namespace fm::linalg
+
+#endif  // FM_LINALG_LU_H_

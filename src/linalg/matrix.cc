@@ -1,0 +1,246 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace fm::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    FM_CHECK(row.size() == cols_);
+    for (double x : row) data_.push_back(x);
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  FM_CHECK(r < rows_ && c < cols_);
+  return (*this)(r, c);
+}
+
+Vector Matrix::RowVector(size_t r) const {
+  FM_CHECK(r < rows_);
+  Vector v(cols_);
+  for (size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::ColVector(size_t c) const {
+  FM_CHECK(c < cols_);
+  Vector v(rows_);
+  for (size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  FM_CHECK(r < rows_ && v.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+void Matrix::Fill(double value) {
+  for (auto& x : data_) x = value;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  FM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  FM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+void Matrix::AddToDiagonal(double value) {
+  FM_CHECK(rows_ == cols_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, i) += value;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void Matrix::SymmetrizeFromUpper() {
+  FM_CHECK(rows_ == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = r + 1; c < cols_; ++c) (*this)(c, r) = (*this)(r, c);
+  }
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  char buf[32];
+  for (size_t r = 0; r < rows_; ++r) {
+    out += "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%.6g", (*this)(r, c));
+      if (c) out += ", ";
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Matrix operator*(Matrix m, double scalar) {
+  m *= scalar;
+  return m;
+}
+
+Matrix operator*(double scalar, Matrix m) {
+  m *= scalar;
+  return m;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  FM_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order for row-major cache friendliness.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      double* orow = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  FM_CHECK(a.cols() == x.size());
+  Vector out(a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+Vector MatTVec(const Matrix& a, const Vector& x) {
+  FM_CHECK(a.rows() == x.size());
+  Vector out(a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) out[j] += xi * row[j];
+  }
+  return out;
+}
+
+Matrix Gram(const Matrix& a) {
+  const size_t d = a.cols();
+  Matrix out(d, d);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double xj = row[j];
+      if (xj == 0.0) continue;
+      double* orow = out.Row(j);
+      for (size_t k = j; k < d; ++k) orow[k] += xj * row[k];
+    }
+  }
+  out.SymmetrizeFromUpper();
+  return out;
+}
+
+void AddOuterProduct(Matrix& target, const Vector& x, double scale) {
+  FM_CHECK(target.rows() == x.size() && target.cols() == x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double sxi = scale * x[i];
+    if (sxi == 0.0) continue;
+    double* row = target.Row(i);
+    for (size_t j = 0; j < x.size(); ++j) row[j] += sxi * x[j];
+  }
+}
+
+double QuadraticForm(const Matrix& m, const Vector& x) {
+  FM_CHECK(m.rows() == x.size() && m.cols() == x.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double* row = m.Row(i);
+    double inner = 0.0;
+    for (size_t j = 0; j < x.size(); ++j) inner += row[j] * x[j];
+    sum += x[i] * inner;
+  }
+  return sum;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  FM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double best = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    best = std::max(best, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return best;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return MaxAbsDiff(a, b) <= tol;
+}
+
+}  // namespace fm::linalg

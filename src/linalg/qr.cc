@@ -1,0 +1,119 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/solve.h"
+
+namespace fm::linalg {
+
+Result<Qr> Qr::Compute(const Matrix& a) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("QR requires a non-empty matrix");
+  }
+  Matrix packed = a;
+  std::vector<double> tau(n, 0.0);
+  std::vector<double> v0(n, 0.0);
+
+  for (size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating column k below the
+    // diagonal: v = x ± ‖x‖e₁ (sign chosen to avoid cancellation).
+    double norm_sq = 0.0;
+    for (size_t i = k; i < m; ++i) norm_sq += packed(i, k) * packed(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (!(norm > 0.0)) {
+      return Status::NumericalError("rank-deficient column " +
+                                    std::to_string(k));
+    }
+    const double alpha = packed(k, k) >= 0.0 ? -norm : norm;
+    const double v0_k = packed(k, k) - alpha;
+    // Standard beta = 2 / (vᵀv) with v = (v0_k, x_{k+1..m}).
+    double vtv = v0_k * v0_k;
+    for (size_t i = k + 1; i < m; ++i) vtv += packed(i, k) * packed(i, k);
+    if (!(vtv > 0.0)) {
+      return Status::NumericalError("degenerate reflector at column " +
+                                    std::to_string(k));
+    }
+    const double beta = 2.0 / vtv;
+
+    // Apply (I − beta v vᵀ) to the trailing columns.
+    for (size_t j = k + 1; j < n; ++j) {
+      double dot = v0_k * packed(k, j);
+      for (size_t i = k + 1; i < m; ++i) dot += packed(i, k) * packed(i, j);
+      const double scale = beta * dot;
+      packed(k, j) -= scale * v0_k;
+      for (size_t i = k + 1; i < m; ++i) {
+        packed(i, j) -= scale * packed(i, k);
+      }
+    }
+
+    // R's diagonal entry replaces the annihilated column head; the reflector
+    // tail stays below the diagonal, its head and scale go to the side.
+    packed(k, k) = alpha;
+    tau[k] = beta;
+    v0[k] = v0_k;
+  }
+  return Qr(std::move(packed), std::move(tau), std::move(v0));
+}
+
+Matrix Qr::R() const {
+  const size_t n = packed_.cols();
+  Matrix r(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) r(i, j) = packed_(i, j);
+  }
+  return r;
+}
+
+Vector Qr::ApplyQTranspose(const Vector& b) const {
+  const size_t m = packed_.rows();
+  const size_t n = packed_.cols();
+  FM_CHECK(b.size() == m);
+  Vector y = b;
+  for (size_t k = 0; k < n; ++k) {
+    double dot = v0_[k] * y[k];
+    for (size_t i = k + 1; i < m; ++i) dot += packed_(i, k) * y[i];
+    const double scale = tau_[k] * dot;
+    y[k] -= scale * v0_[k];
+    for (size_t i = k + 1; i < m; ++i) y[i] -= scale * packed_(i, k);
+  }
+  return y;
+}
+
+Vector Qr::SolveLeastSquares(const Vector& b) const {
+  const size_t n = packed_.cols();
+  const Vector y = ApplyQTranspose(b);
+  // Back substitution on R x = y[0..n).
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) sum -= packed_(ii, j) * x[j];
+    x[ii] = sum / packed_(ii, ii);
+  }
+  return x;
+}
+
+double Qr::AbsDeterminant() const {
+  double det = 1.0;
+  for (size_t i = 0; i < packed_.cols(); ++i) {
+    det *= std::fabs(packed_(i, i));
+  }
+  return det;
+}
+
+Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LeastSquaresQr: shape mismatch");
+  }
+  Result<Qr> qr = Qr::Compute(a);
+  if (qr.ok()) return qr.ValueOrDie().SolveLeastSquares(b);
+  // Rank-deficient: minimum-norm solution through the Gram pseudo-inverse.
+  return SolveSymmetricPseudo(Gram(a), MatTVec(a, b));
+}
+
+}  // namespace fm::linalg

@@ -1,0 +1,52 @@
+#ifndef FM_LINALG_QR_H_
+#define FM_LINALG_QR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fm::linalg {
+
+/// Householder QR factorization A = Q R for m × n matrices with m ≥ n.
+///
+/// Used for numerically stable least squares: solving min ‖Ax − b‖ through
+/// QR avoids squaring the condition number the way the normal equations do.
+/// The factorization stores the Householder reflectors in packed form; Q is
+/// applied implicitly.
+class Qr {
+ public:
+  /// Factorizes `a` (m ≥ n required). Fails with kNumericalError when a
+  /// column is exactly rank-deficient.
+  static Result<Qr> Compute(const Matrix& a);
+
+  /// The upper-triangular n × n factor R.
+  Matrix R() const;
+
+  /// Applies Qᵀ to a length-m vector.
+  Vector ApplyQTranspose(const Vector& b) const;
+
+  /// Solves the least-squares problem min ‖Ax − b‖₂ (b of length m).
+  Vector SolveLeastSquares(const Vector& b) const;
+
+  /// |det R| = Π |r_ii| — for square inputs this is |det A|.
+  double AbsDeterminant() const;
+
+ private:
+  Qr(Matrix packed, std::vector<double> tau, std::vector<double> v0)
+      : packed_(std::move(packed)), tau_(std::move(tau)), v0_(std::move(v0)) {}
+
+  Matrix packed_;            // R in the upper triangle, reflector tails below
+  std::vector<double> tau_;  // reflector scales beta_k = 2 / vᵀv
+  std::vector<double> v0_;   // leading reflector components
+};
+
+/// Stable least squares via Householder QR (falls back to the eigenvalue
+/// pseudo-inverse when A is rank-deficient).
+Result<Vector> LeastSquaresQr(const Matrix& a, const Vector& b);
+
+}  // namespace fm::linalg
+
+#endif  // FM_LINALG_QR_H_

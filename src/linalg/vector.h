@@ -1,0 +1,120 @@
+#ifndef FM_LINALG_VECTOR_H_
+#define FM_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fm::linalg {
+
+/// Dense column vector of doubles.
+///
+/// A thin, value-semantic wrapper over contiguous storage with the
+/// element-wise and BLAS-1 style operations the rest of the library needs.
+/// All binary operations require matching sizes and abort on mismatch (size
+/// mismatches are programmer errors, not data errors).
+class Vector {
+ public:
+  /// Constructs an empty vector.
+  Vector() = default;
+
+  /// Constructs a zero vector of dimension `n`.
+  explicit Vector(size_t n) : data_(n, 0.0) {}
+
+  /// Constructs a vector of dimension `n` filled with `value`.
+  Vector(size_t n, double value) : data_(n, value) {}
+
+  /// Constructs from an initializer list: Vector v = {1.0, 2.0};
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Constructs from existing storage.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  /// Number of elements.
+  size_t size() const { return data_.size(); }
+
+  /// True iff the vector has zero elements.
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access.
+  double operator[](size_t i) const { return data_[i]; }
+  double& operator[](size_t i) { return data_[i]; }
+
+  /// Bounds-checked element access; aborts when out of range.
+  double At(size_t i) const;
+
+  /// Underlying storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+  const double* raw() const { return data_.data(); }
+  double* raw() { return data_.data(); }
+
+  // Iteration support.
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// Resizes, zero-filling new elements.
+  void Resize(size_t n) { data_.resize(n, 0.0); }
+
+  // In-place arithmetic.
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  /// this += scalar * other  (BLAS axpy).
+  void Axpy(double scalar, const Vector& other);
+
+  /// Euclidean norm.
+  double Norm2() const;
+
+  /// L1 norm (sum of absolute values).
+  double Norm1() const;
+
+  /// Max-absolute-value norm.
+  double NormInf() const;
+
+  /// Sum of elements.
+  double Sum() const;
+
+  /// "[a, b, c]" with 6 significant digits; for logging and test messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+// Non-member arithmetic (value-returning).
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector v, double scalar);
+Vector operator*(double scalar, Vector v);
+Vector operator/(Vector v, double scalar);
+Vector operator-(Vector v);
+
+/// Dot product; aborts on size mismatch.
+double Dot(const Vector& a, const Vector& b);
+
+/// Element-wise product.
+Vector Hadamard(const Vector& a, const Vector& b);
+
+/// Max |a[i] - b[i]|; aborts on size mismatch.
+double MaxAbsDiff(const Vector& a, const Vector& b);
+
+/// True iff sizes match and all elements are within `tol` of each other.
+bool AllClose(const Vector& a, const Vector& b, double tol);
+
+}  // namespace fm::linalg
+
+#endif  // FM_LINALG_VECTOR_H_

@@ -1,0 +1,56 @@
+#include "opt/gradient_descent.h"
+
+#include <cmath>
+
+namespace fm::opt {
+
+Result<GradientDescentReport> MinimizeGradientDescent(
+    const std::function<double(const linalg::Vector&)>& value,
+    const std::function<linalg::Vector(const linalg::Vector&)>& gradient,
+    const linalg::Vector& start, const GradientDescentOptions& options) {
+  if (start.empty()) {
+    return Status::InvalidArgument("start vector must be non-empty");
+  }
+  GradientDescentReport report;
+  report.minimizer = start;
+  double f = value(start);
+  if (!std::isfinite(f)) {
+    return Status::InvalidArgument("objective not finite at start");
+  }
+  double step = options.initial_step;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+    const linalg::Vector grad = gradient(report.minimizer);
+    if (grad.NormInf() <= options.gradient_tolerance) {
+      report.converged = true;
+      break;
+    }
+    const double g2 = Dot(grad, grad);
+    bool advanced = false;
+    double t = step;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      linalg::Vector candidate = report.minimizer;
+      candidate.Axpy(-t, grad);
+      const double fc = value(candidate);
+      if (std::isfinite(fc) && fc <= f - options.armijo_c * t * g2) {
+        report.minimizer = std::move(candidate);
+        f = fc;
+        // Mild step growth so a conservative step recovers.
+        step = t * 1.5;
+        advanced = true;
+        break;
+      }
+      t *= options.backtrack_factor;
+    }
+    if (!advanced) {
+      // No acceptable step: gradient is numerically flat.
+      report.converged = grad.NormInf() <= 1e3 * options.gradient_tolerance;
+      break;
+    }
+  }
+  report.value = f;
+  return report;
+}
+
+}  // namespace fm::opt

@@ -1,0 +1,43 @@
+#ifndef FM_OPT_GRADIENT_DESCENT_H_
+#define FM_OPT_GRADIENT_DESCENT_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace fm::opt {
+
+/// Options for the generic first-order minimizer.
+struct GradientDescentOptions {
+  int max_iterations = 2000;
+  double gradient_tolerance = 1e-8;  ///< stop when ‖∇f‖∞ below this
+  double initial_step = 1.0;
+  double backtrack_factor = 0.5;
+  double armijo_c = 1e-4;
+  int max_backtracks = 60;
+};
+
+/// Result of a gradient-descent run.
+struct GradientDescentReport {
+  linalg::Vector minimizer;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes a differentiable function with gradient descent plus Armijo
+/// backtracking. Generic utility used as an independent cross-check of the
+/// closed-form solvers in tests, and as a fallback optimizer.
+///
+/// `value` and `gradient` must be callable with any vector of the starting
+/// point's dimension.
+Result<GradientDescentReport> MinimizeGradientDescent(
+    const std::function<double(const linalg::Vector&)>& value,
+    const std::function<linalg::Vector(const linalg::Vector&)>& gradient,
+    const linalg::Vector& start, const GradientDescentOptions& options = {});
+
+}  // namespace fm::opt
+
+#endif  // FM_OPT_GRADIENT_DESCENT_H_

@@ -1,0 +1,65 @@
+#ifndef FM_OPT_LOGISTIC_LOSS_H_
+#define FM_OPT_LOGISTIC_LOSS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace fm::opt {
+
+/// Numerically stable sigmoid σ(z) = 1 / (1 + e^{−z}).
+double Sigmoid(double z);
+
+/// Numerically stable log(1 + e^{z}).
+double Log1pExp(double z);
+
+/// The exact (untruncated) logistic objective of Definition 2:
+/// f_D(ω) = Σ_i [log(1 + exp(x_iᵀω)) − y_i x_iᵀω], y_i ∈ {0, 1},
+/// plus an optional ridge term (ridge/2)‖ω‖² used by regularized variants.
+///
+/// This is what NoPrivacy, DPME and FP minimize; FM and Truncated minimize
+/// the degree-2 Taylor surrogate instead (core/taylor.h).
+class LogisticObjective {
+ public:
+  /// Binds the objective to data. `x` is n × d with ‖x_i‖ ≤ 1, `y` holds
+  /// n labels in {0, 1}. The data is referenced, not copied — it must
+  /// outlive the objective.
+  LogisticObjective(const linalg::Matrix& x, const linalg::Vector& y,
+                    double ridge = 0.0);
+
+  size_t dim() const { return x_.cols(); }
+
+  /// f_D(ω).
+  double Value(const linalg::Vector& omega) const;
+
+  /// ∇f_D(ω) = Σ_i (σ(x_iᵀω) − y_i) x_i + ridge·ω.
+  linalg::Vector Gradient(const linalg::Vector& omega) const;
+
+  /// ∇²f_D(ω) = Σ_i σ(1−σ) x_i x_iᵀ + ridge·I.
+  linalg::Matrix Hessian(const linalg::Vector& omega) const;
+
+ private:
+  const linalg::Matrix& x_;
+  const linalg::Vector& y_;
+  double ridge_;
+};
+
+/// Options for the damped-Newton logistic solver.
+struct NewtonOptions {
+  int max_iterations = 50;
+  double gradient_tolerance = 1e-8;  ///< on ‖∇f‖∞ scaled by n
+  double initial_damping = 1e-8;     ///< Hessian ridge when a solve fails
+};
+
+/// Fits logistic regression by damped Newton (IRLS). Returns the parameter
+/// vector; converges for any data because the objective is convex. Fails
+/// only on dimension mismatches.
+Result<linalg::Vector> FitLogisticNewton(const linalg::Matrix& x,
+                                         const linalg::Vector& y,
+                                         double ridge = 0.0,
+                                         const NewtonOptions& options = {});
+
+}  // namespace fm::opt
+
+#endif  // FM_OPT_LOGISTIC_LOSS_H_

@@ -1,0 +1,235 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/env_util.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad d");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad d");
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad d");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+Status ReturnEarly(bool fail) {
+  FM_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+  return Status::AlreadyExists("reached end");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(ReturnEarly(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(ReturnEarly(false).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FM_ASSIGN_OR_RETURN(int h, Half(x));
+  FM_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroChains) {
+  EXPECT_EQ(Quarter(8).ValueOrDie(), 2);
+  EXPECT_EQ(Quarter(6).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntUnbiasedRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LaplaceMomentsMatchScale) {
+  Rng rng(13);
+  const double b = 2.5;
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0, sum_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Laplace(b);
+    sum += v;
+    sum_sq += v * v;
+    sum_abs += std::fabs(v);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 2.0 * b * b, 0.3);  // Var = 2b²
+  EXPECT_NEAR(sum_abs / n, b, 0.05);          // E|X| = b
+}
+
+TEST(RngTest, LaplaceTailProbability) {
+  // P[X > t] = 0.5·e^{−t/b} for t ≥ 0.
+  Rng rng(15);
+  const double b = 1.0, t = 2.0;
+  const int n = 200000;
+  int above = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Laplace(b) > t) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5 * std::exp(-t / b), 0.005);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, GammaMeanAndVariance) {
+  Rng rng(19);
+  const double shape = 3.0, scale = 2.0;
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gamma(shape, scale);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(sum_sq / n - mean * mean, shape * scale * scale, 0.5);
+}
+
+TEST(RngTest, GammaShapeBelowOne) {
+  Rng rng(21);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gamma(0.5, 1.0);
+    ASSERT_GE(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(25);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, DeriveSeedIsDeterministicAndSpread) {
+  EXPECT_EQ(DeriveSeed(1, 2), DeriveSeed(1, 2));
+  std::set<uint64_t> seeds;
+  for (uint64_t s = 0; s < 100; ++s) seeds.insert(DeriveSeed(42, s));
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(EnvUtilTest, ParsesAndDefaults) {
+  ::setenv("FM_TEST_DOUBLE", "2.5", 1);
+  ::setenv("FM_TEST_INT", "17", 1);
+  ::setenv("FM_TEST_JUNK", "zzz", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FM_TEST_DOUBLE", 1.0), 2.5);
+  EXPECT_EQ(GetEnvInt64("FM_TEST_INT", 3), 17);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FM_TEST_JUNK", 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FM_TEST_UNSET_VAR", 9.0), 9.0);
+  EXPECT_EQ(GetEnvString("FM_TEST_UNSET_VAR", "dflt"), "dflt");
+  ::unsetenv("FM_TEST_DOUBLE");
+  ::unsetenv("FM_TEST_INT");
+  ::unsetenv("FM_TEST_JUNK");
+}
+
+}  // namespace
+}  // namespace fm

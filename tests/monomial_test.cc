@@ -1,0 +1,139 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/monomial.h"
+
+namespace fm::core {
+namespace {
+
+TEST(MonomialTest, DegreeAndEvaluate) {
+  const Monomial m({3, 1});  // ω₁³·ω₂
+  EXPECT_EQ(m.degree(), 4u);
+  EXPECT_DOUBLE_EQ(m.Evaluate(linalg::Vector{2.0, 5.0}), 40.0);
+  const Monomial one({0, 0});
+  EXPECT_EQ(one.degree(), 0u);
+  EXPECT_DOUBLE_EQ(one.Evaluate(linalg::Vector{9.0, 9.0}), 1.0);
+}
+
+TEST(MonomialTest, Derivative) {
+  const Monomial m({2, 1});  // ω₁²ω₂
+  const auto [c0, d0] = m.Derivative(0);
+  EXPECT_DOUBLE_EQ(c0, 2.0);
+  EXPECT_EQ(d0.exponents(), (std::vector<unsigned>{1, 1}));
+  const auto [c1, d1] = m.Derivative(1);
+  EXPECT_DOUBLE_EQ(c1, 1.0);
+  EXPECT_EQ(d1.exponents(), (std::vector<unsigned>{2, 0}));
+  const Monomial constant({0, 0});
+  EXPECT_DOUBLE_EQ(constant.Derivative(0).first, 0.0);
+}
+
+TEST(MonomialTest, ToStringReadable) {
+  EXPECT_EQ(Monomial({0, 0}).ToString(), "1");
+  EXPECT_EQ(Monomial({1, 0}).ToString(), "w1");
+  EXPECT_EQ(Monomial({2, 1}).ToString(), "w1^2*w2");
+}
+
+size_t Choose(size_t n, size_t k) {
+  double r = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return static_cast<size_t>(std::llround(r));
+}
+
+TEST(MonomialTest, EnumerationCountsMatchCombinatorics) {
+  // |Φ_j| over d variables = C(d+j−1, j).
+  for (size_t d : {1u, 2u, 3u, 5u}) {
+    for (unsigned j : {0u, 1u, 2u, 3u}) {
+      const auto monomials = EnumerateMonomials(d, j);
+      EXPECT_EQ(monomials.size(), Choose(d + j - 1, j))
+          << "d=" << d << " j=" << j;
+      for (const auto& m : monomials) EXPECT_EQ(m.degree(), j);
+    }
+  }
+  // Paper examples: Φ₁ = {ω₁..ω_d}, Φ₂ has d(d+1)/2 distinct products.
+  EXPECT_EQ(EnumerateMonomials(4, 1).size(), 4u);
+  EXPECT_EQ(EnumerateMonomials(4, 2).size(), 10u);
+}
+
+TEST(PolynomialObjectiveTest, AddTermMergesDuplicates) {
+  PolynomialObjective poly(2);
+  poly.AddTerm(Monomial({1, 0}), 2.0);
+  poly.AddTerm(Monomial({1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(poly.CoefficientOf(Monomial({1, 0})), 5.0);
+  EXPECT_EQ(poly.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(poly.CoefficientOf(Monomial({0, 1})), 0.0);
+}
+
+TEST(PolynomialObjectiveTest, EvaluateAndNorms) {
+  // f = 1.25 − 2.34ω + 2.06ω² (the paper's Figure 2 example, d = 1).
+  PolynomialObjective poly(1);
+  poly.AddTerm(Monomial({0}), 1.25);
+  poly.AddTerm(Monomial({1}), -2.34);
+  poly.AddTerm(Monomial({2}), 2.06);
+  EXPECT_EQ(poly.MaxDegree(), 2u);
+  EXPECT_NEAR(poly.CoefficientL1Norm(), 5.65, 1e-12);
+  const double w = 117.0 / 206.0;
+  EXPECT_NEAR(poly.Evaluate(linalg::Vector{w}),
+              1.25 - 2.34 * w + 2.06 * w * w, 1e-12);
+}
+
+TEST(PolynomialObjectiveTest, GradientMatchesFiniteDifferences) {
+  Rng rng(91);
+  PolynomialObjective poly(3);
+  for (unsigned j = 0; j <= 3; ++j) {
+    for (const auto& m : EnumerateMonomials(3, j)) {
+      poly.AddTerm(m, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  const linalg::Vector w = {0.3, -0.7, 0.5};
+  const linalg::Vector grad = poly.Gradient(w);
+  const double h = 1e-6;
+  for (size_t k = 0; k < 3; ++k) {
+    linalg::Vector wp = w, wm = w;
+    wp[k] += h;
+    wm[k] -= h;
+    EXPECT_NEAR(grad[k], (poly.Evaluate(wp) - poly.Evaluate(wm)) / (2.0 * h),
+                1e-6);
+  }
+}
+
+TEST(PolynomialObjectiveTest, AccumulateSums) {
+  PolynomialObjective a(2), b(2);
+  a.AddTerm(Monomial({1, 0}), 1.0);
+  b.AddTerm(Monomial({1, 0}), 2.0);
+  b.AddTerm(Monomial({0, 2}), -1.0);
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.CoefficientOf(Monomial({1, 0})), 3.0);
+  EXPECT_DOUBLE_EQ(a.CoefficientOf(Monomial({0, 2})), -1.0);
+}
+
+TEST(PolynomialObjectiveTest, ToQuadraticModelMatchesEvaluation) {
+  Rng rng(93);
+  PolynomialObjective poly(3);
+  for (unsigned j = 0; j <= 2; ++j) {
+    for (const auto& m : EnumerateMonomials(3, j)) {
+      poly.AddTerm(m, rng.Uniform(-2.0, 2.0));
+    }
+  }
+  const auto quad = poly.ToQuadraticModel();
+  ASSERT_TRUE(quad.ok());
+  EXPECT_TRUE(quad.ValueOrDie().m.IsSymmetric(0.0));
+  for (int trial = 0; trial < 20; ++trial) {
+    linalg::Vector w(3);
+    for (auto& v : w) v = rng.Uniform(-2.0, 2.0);
+    EXPECT_NEAR(quad.ValueOrDie().Evaluate(w), poly.Evaluate(w), 1e-10);
+  }
+}
+
+TEST(PolynomialObjectiveTest, ToQuadraticModelRejectsCubic) {
+  PolynomialObjective poly(2);
+  poly.AddTerm(Monomial({3, 0}), 1.0);
+  EXPECT_EQ(poly.ToQuadraticModel().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace fm::core
