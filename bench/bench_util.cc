@@ -3,10 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "common/env_util.h"
 #include "common/rng.h"
 #include "eval/cross_validation.h"
+#include "exec/parallel.h"
 
 namespace fm::bench {
 
@@ -47,6 +49,31 @@ std::vector<double> SweepPoint(const data::RegressionDataset& ds,
   return row;
 }
 
+// One computed cell of a sweep table. Points are evaluated concurrently
+// (each point is a deterministic function of its own derived seeds) and
+// printed serially afterwards, in x order, so table bytes are identical for
+// every FM_THREADS value (modulo the timing columns of figs 7–9, which
+// report measured per-fold thread-CPU seconds).
+struct SweepRow {
+  bool ok = false;
+  double x = 0.0;
+  std::vector<std::string> names;
+  std::vector<double> row;
+};
+
+void PrintSweep(const std::string& figure, const std::string& x_label,
+                const std::vector<SweepRow>& rows) {
+  bool header_printed = false;
+  for (const auto& row : rows) {
+    if (!row.ok) continue;
+    if (!header_printed) {
+      eval::PrintTableHeader(figure, x_label, row.names);
+      header_printed = true;
+    }
+    eval::PrintTableRow(figure, row.x, row.row);
+  }
+}
+
 }  // namespace
 
 BenchContext LoadContext() {
@@ -84,58 +111,56 @@ std::vector<double> BenchSamplingRates() {
 
 void AccuracyVsDimensionality(const BenchContext& ctx, data::TaskKind task) {
   const char* base = task == data::TaskKind::kLinear ? "fig4-lin" : "fig4-log";
+  const auto& dims_grid = eval::ParameterGrid::Dimensionalities();
   for (const auto& bundle : ctx.bundles) {
     const std::string figure = FigureLabel(base, bundle.name, task);
-    bool header_printed = false;
-    uint64_t salt = 0;
-    for (int dims : eval::ParameterGrid::Dimensionalities()) {
+    const auto rows = exec::ParallelMap(dims_grid.size(), [&](size_t i) {
+      SweepRow out;
+      const int dims = dims_grid[i];
+      out.x = dims;
       auto ds = eval::PrepareTask(bundle.table, dims, task);
-      if (!ds.ok()) continue;
+      if (!ds.ok()) return out;
       Rng sample_rng(DeriveSeed(ctx.config.seed, 7000 + dims));
       const auto sampled = ds.ValueOrDie().Sample(
           eval::ParameterGrid::kDefaultSamplingRate, sample_rng);
-      std::vector<std::string> names;
-      const auto row =
-          SweepPoint(sampled, task, eval::ParameterGrid::kDefaultEpsilon,
-                     ctx.config, salt++, /*want_time=*/false, &names);
-      if (!header_printed) {
-        eval::PrintTableHeader(figure, "dims", names);
-        header_printed = true;
-      }
-      eval::PrintTableRow(figure, dims, row);
-    }
+      out.row = SweepPoint(sampled, task, eval::ParameterGrid::kDefaultEpsilon,
+                           ctx.config, i, /*want_time=*/false, &out.names);
+      out.ok = true;
+      return out;
+    });
+    PrintSweep(figure, "dims", rows);
   }
 }
 
 void AccuracyVsCardinality(const BenchContext& ctx, data::TaskKind task) {
   const char* base = task == data::TaskKind::kLinear ? "fig5-lin" : "fig5-log";
+  const auto rates = BenchSamplingRates();
   for (const auto& bundle : ctx.bundles) {
     const std::string figure = FigureLabel(base, bundle.name, task);
     auto ds = eval::PrepareTask(bundle.table,
                                 eval::ParameterGrid::kDefaultDimensionality,
                                 task);
     if (!ds.ok()) continue;
-    bool header_printed = false;
-    uint64_t salt = 100;
-    for (double rate : BenchSamplingRates()) {
+    const auto rows = exec::ParallelMap(rates.size(), [&](size_t i) {
+      SweepRow out;
+      const double rate = rates[i];
+      out.x = rate;
       Rng sample_rng(
           DeriveSeed(ctx.config.seed, 8000 + static_cast<uint64_t>(rate * 100)));
       const auto sampled = ds.ValueOrDie().Sample(rate, sample_rng);
-      std::vector<std::string> names;
-      const auto row =
-          SweepPoint(sampled, task, eval::ParameterGrid::kDefaultEpsilon,
-                     ctx.config, salt++, /*want_time=*/false, &names);
-      if (!header_printed) {
-        eval::PrintTableHeader(figure, "rate", names);
-        header_printed = true;
-      }
-      eval::PrintTableRow(figure, rate, row);
-    }
+      out.row = SweepPoint(sampled, task, eval::ParameterGrid::kDefaultEpsilon,
+                           ctx.config, 100 + i, /*want_time=*/false,
+                           &out.names);
+      out.ok = true;
+      return out;
+    });
+    PrintSweep(figure, "rate", rows);
   }
 }
 
 void AccuracyVsEpsilon(const BenchContext& ctx, data::TaskKind task) {
   const char* base = task == data::TaskKind::kLinear ? "fig6-lin" : "fig6-log";
+  const auto& budgets = eval::ParameterGrid::PrivacyBudgets();
   for (const auto& bundle : ctx.bundles) {
     const std::string figure = FigureLabel(base, bundle.name, task);
     auto ds = eval::PrepareTask(bundle.table,
@@ -145,18 +170,15 @@ void AccuracyVsEpsilon(const BenchContext& ctx, data::TaskKind task) {
     Rng sample_rng(DeriveSeed(ctx.config.seed, 9000));
     const auto sampled = ds.ValueOrDie().Sample(
         eval::ParameterGrid::kDefaultSamplingRate, sample_rng);
-    bool header_printed = false;
-    uint64_t salt = 200;
-    for (double epsilon : eval::ParameterGrid::PrivacyBudgets()) {
-      std::vector<std::string> names;
-      const auto row = SweepPoint(sampled, task, epsilon, ctx.config, salt++,
-                                  /*want_time=*/false, &names);
-      if (!header_printed) {
-        eval::PrintTableHeader(figure, "epsilon", names);
-        header_printed = true;
-      }
-      eval::PrintTableRow(figure, epsilon, row);
-    }
+    const auto rows = exec::ParallelMap(budgets.size(), [&](size_t i) {
+      SweepRow out;
+      out.x = budgets[i];
+      out.row = SweepPoint(sampled, task, budgets[i], ctx.config, 200 + i,
+                           /*want_time=*/false, &out.names);
+      out.ok = true;
+      return out;
+    });
+    PrintSweep(figure, "epsilon", rows);
   }
 }
 
@@ -170,6 +192,10 @@ void TimeSweep(const BenchContext& ctx, data::TaskKind task,
   eval::BenchConfig timing_config = ctx.config;
   timing_config.repeats = 1;
 
+  // Unlike the accuracy sweeps, timing points run serially; CrossValidate
+  // still trains each point's folds in parallel (that is what speeds the
+  // sweep up), and per-fold times are read from the training thread's CPU
+  // clock, so sibling folds don't inflate each other's §7.4 numbers.
   for (const auto& bundle : ctx.bundles) {
     const std::string figure = FigureLabel(fig, bundle.name, task);
     bool header_printed = false;

@@ -24,6 +24,12 @@ BenchContext LoadContext();
 /// Prints the standard bench banner: scale, repeats, seed, dataset sizes.
 void PrintBanner(const std::string& bench_name, const BenchContext& ctx);
 
+/// The sweep drivers below evaluate their points concurrently on the global
+/// exec::ThreadPool (FM_THREADS) and print rows serially in x order, so the
+/// accuracy tables are byte-identical for every thread count; the timing
+/// tables of figs 7–9 report per-fold thread-CPU seconds — stable across
+/// thread counts but, being measured time, still run-dependent.
+
 /// Figure 4: accuracy vs dimensionality at the default ε and sampling rate.
 /// `figure` is the per-dataset label prefix, e.g. "fig4a" for US-Linear.
 void AccuracyVsDimensionality(const BenchContext& ctx, data::TaskKind task);

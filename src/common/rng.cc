@@ -136,6 +136,12 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 uint64_t Rng::Fork() { return Next() ^ 0xA5A5A5A55A5A5A5Aull; }
 
+uint64_t Rng::Fork(uint64_t seed, uint64_t task_id) {
+  uint64_t s = seed ^ (task_id * 0xD1B54A32D192ED03ull + 0x8BB84B93962EACC9ull);
+  (void)SplitMix64(s);  // advance once: decorrelates from DeriveSeed's family
+  return SplitMix64(s);
+}
+
 uint64_t DeriveSeed(uint64_t root, uint64_t stream) {
   uint64_t s = root ^ (stream * 0x9E3779B97F4A7C15ull + 0x7F4A7C15ull);
   return SplitMix64(s);

@@ -84,6 +84,15 @@ class Rng {
   /// for sub-components (one stream per trial/fold/mechanism).
   uint64_t Fork();
 
+  /// Stateless substream derivation: mixes `seed` with `task_id` into an
+  /// independent child seed. The parallel experiment engine gives every
+  /// task (fold, repetition, sweep point) its own `Rng(Fork(seed, task))`
+  /// so results are bit-identical for every thread count. Unlike
+  /// DeriveSeed, Fork finalizes through two SplitMix64 rounds, so the
+  /// substream family is disjoint from the DeriveSeed family even at equal
+  /// (seed, index) arguments.
+  static uint64_t Fork(uint64_t seed, uint64_t task_id);
+
  private:
   uint64_t state_[4];
   bool has_spare_gaussian_ = false;

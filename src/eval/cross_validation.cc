@@ -1,12 +1,28 @@
 #include "eval/cross_validation.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "eval/metrics.h"
 #include "eval/stopwatch.h"
+#include "exec/parallel.h"
 
 namespace fm::eval {
+
+namespace {
+
+// Outcome of one (repeat, fold) training task. Aggregation happens serially
+// in task order so the final statistics are bit-identical regardless of how
+// many threads executed the tasks.
+struct FoldOutcome {
+  bool ok = false;
+  double error = 0.0;
+  double seconds = 0.0;
+  Status status;
+};
+
+}  // namespace
 
 Result<CvResult> CrossValidate(const baselines::RegressionAlgorithm& algorithm,
                                const data::RegressionDataset& dataset,
@@ -21,36 +37,58 @@ Result<CvResult> CrossValidate(const baselines::RegressionAlgorithm& algorithm,
     return Status::InvalidArgument("repeats must be >= 1");
   }
 
+  // One task per (repeat, fold), each with its own RNG substream keyed by
+  // the flat task index, so any interleaving of tasks across threads
+  // produces the same models. Each task re-derives its repeat's fold
+  // assignment (an O(n) shuffle, dwarfed by training) instead of holding
+  // all repeats × folds index vectors in memory at once.
+  const uint64_t train_root = DeriveSeed(options.seed, 1);
+  exec::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : exec::ThreadPool::Global();
+  const auto outcomes = exec::ParallelMap(
+      options.repeats * options.folds,
+      [&](size_t task_id) {
+        const size_t repeat = task_id / options.folds;
+        const size_t fold = task_id % options.folds;
+        Rng fold_rng(DeriveSeed(options.seed, repeat * 2));
+        const data::Split split = std::move(
+            data::KFoldSplits(dataset.size(), options.folds, fold_rng)[fold]);
+        const data::RegressionDataset train = dataset.Select(split.train);
+        const data::RegressionDataset test = dataset.Select(split.test);
+
+        FoldOutcome outcome;
+        Rng train_rng(Rng::Fork(train_root, task_id));
+        // Thread CPU time, not wall-clock: folds train concurrently, and
+        // wall-clock would charge each fold for its siblings' contention.
+        ThreadCpuStopwatch watch;
+        Result<baselines::TrainedModel> trained =
+            algorithm.Train(train, task, train_rng);
+        outcome.seconds = watch.Seconds();
+        if (!trained.ok()) {
+          outcome.status = trained.status();
+          return outcome;
+        }
+        outcome.ok = true;
+        outcome.error = TaskError(task, trained.ValueOrDie().omega, test);
+        return outcome;
+      },
+      pool);
+
   CvResult result;
   double sum = 0.0;
   double sum_sq = 0.0;
   double time_sum = 0.0;
   Status last_failure = Status::OK();
-
-  for (size_t repeat = 0; repeat < options.repeats; ++repeat) {
-    Rng fold_rng(DeriveSeed(options.seed, repeat * 2));
-    Rng train_rng(DeriveSeed(options.seed, repeat * 2 + 1));
-    const auto splits =
-        data::KFoldSplits(dataset.size(), options.folds, fold_rng);
-    for (const auto& split : splits) {
-      const data::RegressionDataset train = dataset.Select(split.train);
-      const data::RegressionDataset test = dataset.Select(split.test);
-
-      Stopwatch watch;
-      Result<baselines::TrainedModel> trained =
-          algorithm.Train(train, task, train_rng);
-      const double seconds = watch.Seconds();
-      if (!trained.ok()) {
-        ++result.failures;
-        last_failure = trained.status();
-        continue;
-      }
-      const double error = TaskError(task, trained.ValueOrDie().omega, test);
-      sum += error;
-      sum_sq += error * error;
-      time_sum += seconds;
-      ++result.evaluations;
+  for (const FoldOutcome& outcome : outcomes) {
+    if (!outcome.ok) {
+      ++result.failures;
+      last_failure = outcome.status;
+      continue;
     }
+    sum += outcome.error;
+    sum_sq += outcome.error * outcome.error;
+    time_sum += outcome.seconds;
+    ++result.evaluations;
   }
 
   if (result.evaluations == 0) {

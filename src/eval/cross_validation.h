@@ -9,6 +9,10 @@
 #include "data/dataset.h"
 #include "data/normalizer.h"
 
+namespace fm::exec {
+class ThreadPool;
+}  // namespace fm::exec
+
 namespace fm::eval {
 
 /// §7's evaluation protocol: repeated k-fold cross-validation (the paper
@@ -18,6 +22,10 @@ struct CvOptions {
   size_t folds = 5;
   size_t repeats = 3;
   uint64_t seed = 0x5eedf01d;
+  /// Pool the folds × repeats training tasks run on; nullptr → the global
+  /// FM_THREADS-sized pool. Results are bit-identical for every pool size
+  /// (each task draws from its own Rng::Fork substream).
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Aggregated outcome of one algorithm over all folds × repeats.
@@ -26,7 +34,9 @@ struct CvResult {
   double mean_error = 0.0;
   /// Sample standard deviation of the per-fold metric.
   double stddev_error = 0.0;
-  /// Mean wall-clock training time per fold, seconds (§7.4's metric).
+  /// Mean training time per fold, seconds (§7.4's metric), measured on the
+  /// training thread's CPU clock so concurrent folds don't inflate each
+  /// other's readings.
   double mean_train_seconds = 0.0;
   /// folds × repeats that produced a model.
   size_t evaluations = 0;
@@ -34,11 +44,14 @@ struct CvResult {
   size_t failures = 0;
 };
 
-/// Runs `algorithm` through repeated k-fold cross-validation on `dataset`.
-/// Per-fold randomness (fold assignment and mechanism noise) is derived
-/// deterministically from options.seed. Individual Train failures are
-/// tolerated and counted; the call fails only when every fold fails or the
-/// dataset is too small for the requested fold count.
+/// Runs `algorithm` through repeated k-fold cross-validation on `dataset`,
+/// training the folds × repeats tasks concurrently on options.pool (or the
+/// global pool). Per-task randomness (fold assignment and mechanism noise)
+/// is derived deterministically from options.seed via per-task substreams,
+/// so the statistics are bit-identical regardless of thread count.
+/// Individual Train failures are tolerated and counted; the call fails only
+/// when every fold fails or the dataset is too small for the requested fold
+/// count.
 Result<CvResult> CrossValidate(const baselines::RegressionAlgorithm& algorithm,
                                const data::RegressionDataset& dataset,
                                data::TaskKind task, const CvOptions& options);

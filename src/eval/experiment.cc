@@ -9,6 +9,7 @@
 #include "baselines/no_privacy.h"
 #include "common/env_util.h"
 #include "data/census_generator.h"
+#include "exec/parallel.h"
 
 namespace fm::eval {
 
@@ -45,17 +46,22 @@ Result<std::vector<DatasetBundle>> LoadCensusDatasets(double scale,
   if (!(scale > 0.0) || scale > 1.0) {
     return Status::InvalidArgument("scale must be in (0, 1]");
   }
-  std::vector<DatasetBundle> bundles;
-  for (const auto& profile :
-       {data::CensusGenerator::US(), data::CensusGenerator::Brazil()}) {
+  const std::vector<data::CensusGenerator::Profile> profiles = {
+      data::CensusGenerator::US(), data::CensusGenerator::Brazil()};
+  // Each dataset already derives its own seed from its index, so the two
+  // generations are independent tasks; run them on the pool.
+  auto generated = exec::ParallelMap(profiles.size(), [&](size_t i) {
+    const auto& profile = profiles[i];
     const size_t rows = std::max<size_t>(
         1000, static_cast<size_t>(
                   std::llround(scale * static_cast<double>(profile.default_rows))));
-    FM_ASSIGN_OR_RETURN(
-        data::Table table,
-        data::CensusGenerator::Generate(profile, rows,
-                                        DeriveSeed(seed, bundles.size())));
-    bundles.push_back(DatasetBundle{profile.name, std::move(table)});
+    return data::CensusGenerator::Generate(profile, rows, DeriveSeed(seed, i));
+  });
+  std::vector<DatasetBundle> bundles;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    FM_RETURN_NOT_OK(generated[i].status());
+    bundles.push_back(
+        DatasetBundle{profiles[i].name, std::move(generated[i]).ValueOrDie()});
   }
   return bundles;
 }

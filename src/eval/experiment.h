@@ -32,6 +32,9 @@ struct ParameterGrid {
 ///                     the Figure-5 signal/noise curve the defaults sit);
 ///   FM_BENCH_REPEATS  cross-validation repeats (paper: 50; default 2);
 ///   FM_BENCH_SEED     root seed for all derived randomness.
+/// Thread count is orthogonal: FM_THREADS sizes the global exec::ThreadPool
+/// the engine runs on, and accuracy output is byte-identical for every
+/// value (per-task RNG substreams; see exec/parallel.h).
 struct BenchConfig {
   double scale = 0.5;
   size_t repeats = 2;

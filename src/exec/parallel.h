@@ -1,0 +1,106 @@
+#ifndef FM_EXEC_PARALLEL_H_
+#define FM_EXEC_PARALLEL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace fm::exec {
+
+/// Runs fn(0), ..., fn(n-1) on `pool`, blocking until all complete.
+///
+/// Determinism contract: fn(i) must derive all randomness from i (e.g.
+/// `Rng rng(Rng::Fork(seed, i))`) and write only to slot i of any shared
+/// output. Under that contract results are identical for every thread
+/// count, including FM_THREADS=1.
+///
+/// Scheduling: indices are dealt round-robin into one task per worker, so
+/// task shapes are fixed up front (no stealing, no dynamic chunking).
+/// Nested calls — fn itself calling ParallelFor/ParallelMap — execute the
+/// inner region inline on the calling worker, so nesting can never
+/// deadlock the pool and outer-level parallelism is preferred.
+///
+/// Exceptions thrown by fn are captured; after all indices finish the
+/// exception with the smallest index is rethrown (again independent of
+/// thread count).
+template <typename Fn>
+void ParallelFor(size_t n, Fn&& fn, ThreadPool& pool = ThreadPool::Global()) {
+  if (n == 0) return;
+  if (n == 1 || pool.num_threads() == 1 || ThreadPool::InWorkerThread()) {
+    // Inline path: same contract as the pooled path — every index runs,
+    // and the lowest-index exception is rethrown afterwards.
+    std::exception_ptr first_error;
+    size_t first_error_index = n;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  const size_t num_tasks = std::min(n, pool.num_threads());
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable cv;
+    size_t remaining;
+    std::vector<std::exception_ptr> errors;  // slot per index
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = num_tasks;
+  sync->errors.resize(n);
+
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool.Submit([&fn, sync, t, n, num_tasks] {
+      for (size_t i = t; i < n; i += num_tasks) {
+        try {
+          fn(i);
+        } catch (...) {
+          sync->errors[i] = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(sync->mutex);
+      if (--sync->remaining == 0) sync->cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(sync->mutex);
+  sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+  for (size_t i = 0; i < n; ++i) {
+    if (sync->errors[i]) std::rethrow_exception(sync->errors[i]);
+  }
+}
+
+/// Maps fn over [0, n) and returns {fn(0), ..., fn(n-1)} in index order.
+/// Same determinism, scheduling, and exception contract as ParallelFor.
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn, ThreadPool& pool = ThreadPool::Global())
+    -> std::vector<decltype(fn(size_t{0}))> {
+  using R = decltype(fn(size_t{0}));
+  // Optional slots, so R need not be default-constructible (Result<T> is
+  // not); each task emplaces exactly its own slot.
+  std::vector<std::optional<R>> slots(n);
+  ParallelFor(
+      n, [&](size_t i) { slots[i].emplace(fn(i)); }, pool);
+  std::vector<R> results;
+  results.reserve(n);
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace fm::exec
+
+#endif  // FM_EXEC_PARALLEL_H_

@@ -1,0 +1,105 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+
+#include "common/env_util.h"
+
+namespace fm::exec {
+
+namespace {
+
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  size_t shard = 0;
+};
+
+// Identifies the pool/shard the current thread belongs to, if any.
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  shards_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t index;
+  bool to_front = false;
+  if (tls_worker.pool == this) {
+    // Nested submission: run on the submitting worker's own shard, ahead of
+    // older foreign work, so a worker waiting on its children always finds
+    // them at the front of its queue.
+    index = tls_worker.shard;
+    to_front = true;
+  } else {
+    index = next_shard_.fetch_add(1, std::memory_order_relaxed) %
+            shards_.size();
+  }
+  Shard& shard = *shards_[index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (to_front) {
+      shard.tasks.push_front(std::move(task));
+    } else {
+      shard.tasks.push_back(std::move(task));
+    }
+  }
+  shard.cv.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() { return tls_worker.pool != nullptr; }
+
+void ThreadPool::WorkerLoop(size_t shard_index) {
+  tls_worker.pool = this;
+  tls_worker.shard = shard_index;
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.cv.wait(lock, [&] {
+        return !shard.tasks.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (shard.tasks.empty()) return;  // stopping and drained
+      task = std::move(shard.tasks.front());
+      shard.tasks.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* const pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const int64_t requested = GetEnvInt64("FM_THREADS", 0);
+  if (requested > 0) {
+    return static_cast<size_t>(requested > 256 ? 256 : requested);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<size_t>(hardware);
+}
+
+}  // namespace fm::exec

@@ -1,0 +1,79 @@
+#ifndef FM_EXEC_THREAD_POOL_H_
+#define FM_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fm::exec {
+
+/// Fixed-size thread pool with sharded run queues.
+///
+/// Each worker owns one queue (mutex + deque); Submit round-robins tasks
+/// across the shards so unrelated submitters do not contend on a single
+/// lock. There is deliberately no work stealing: the experiment engine
+/// submits coarse, similarly-sized tasks (one per CV fold / sweep point),
+/// so stealing would add synchronization without improving balance, and a
+/// fixed task→shard mapping keeps execution easy to reason about.
+///
+/// Tasks must not block on other tasks in the same pool. The parallel
+/// helpers in exec/parallel.h enforce this by running nested parallel
+/// regions inline on the submitting worker (see InWorkerThread).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: pending tasks are abandoned only if never submitted;
+  /// the destructor waits for every already-submitted task to finish.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` on the next shard. Thread-safe; may be called from
+  /// worker threads (nested submission), in which case the task is pushed
+  /// to the submitting worker's own shard front so it runs before older
+  /// foreign work and nested waits cannot deadlock the pool.
+  void Submit(std::function<void()> task);
+
+  /// True when called from one of *any* pool's worker threads. Used by the
+  /// parallel helpers to run nested parallel regions inline.
+  static bool InWorkerThread();
+
+  /// The process-wide pool, sized by FM_THREADS (default: hardware
+  /// concurrency). Constructed on first use; never destroyed (workers are
+  /// detached at process exit by the OS, and the pool outlives all users).
+  static ThreadPool& Global();
+
+  /// Resolves FM_THREADS: unset/0 → hardware concurrency (min 1), else the
+  /// given value clamped to [1, 256].
+  static size_t DefaultThreadCount();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t shard_index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_shard_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace fm::exec
+
+#endif  // FM_EXEC_THREAD_POOL_H_

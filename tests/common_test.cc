@@ -217,6 +217,18 @@ TEST(RngTest, DeriveSeedIsDeterministicAndSpread) {
   EXPECT_EQ(seeds.size(), 100u);
 }
 
+TEST(RngTest, StaticForkIsDeterministicSpreadAndDisjointFromDeriveSeed) {
+  EXPECT_EQ(Rng::Fork(1, 2), Rng::Fork(1, 2));
+  std::set<uint64_t> seeds;
+  for (uint64_t task = 0; task < 100; ++task) {
+    seeds.insert(Rng::Fork(42, task));
+    // The substream family must not collide with the DeriveSeed family the
+    // serial code paths already consume.
+    EXPECT_NE(Rng::Fork(42, task), DeriveSeed(42, task));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
 TEST(EnvUtilTest, ParsesAndDefaults) {
   ::setenv("FM_TEST_DOUBLE", "2.5", 1);
   ::setenv("FM_TEST_INT", "17", 1);

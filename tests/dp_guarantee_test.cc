@@ -153,6 +153,88 @@ TEST(EmpiricalDpTest, OutputDistributionSatisfiesEpsilonRatio) {
   }
 }
 
+TEST(EmpiricalDpTest, PerturbQuadraticNoiseIsLaplaceDistributed) {
+  // Statistical smoke test of Algorithm 1 lines 2–6: the noise added by
+  // PerturbQuadratic to every released coefficient (β, α entries, M upper
+  // triangle) must be Laplace(b = Δ/ε): empirical mean ≈ 0, mean absolute
+  // deviation ≈ b, variance ≈ 2b², and M must stay symmetric (the upper
+  // triangle is perturbed once and mirrored, §6.1).
+  const auto objective = [] {
+    opt::QuadraticModel q;
+    q.m = {{1.5, 0.25}, {0.25, 3.0}};
+    q.alpha = {0.5, -1.0};
+    q.beta = 2.0;
+    return q;
+  }();
+  const double delta = 6.0, epsilon = 1.2;
+  const double b = delta / epsilon;
+
+  Rng rng(53);
+  constexpr int kTrials = 50000;
+  // Track the three coefficient kinds separately: β, α[0], M(0,1).
+  double sum[3] = {0, 0, 0}, sum_abs[3] = {0, 0, 0}, sum_sq[3] = {0, 0, 0};
+  for (int t = 0; t < kTrials; ++t) {
+    const auto noisy =
+        core::FunctionalMechanism::PerturbQuadratic(objective, delta, epsilon,
+                                                    rng)
+            .ValueOrDie();
+    ASSERT_DOUBLE_EQ(noisy.m(0, 1), noisy.m(1, 0)) << "M must stay symmetric";
+    const double noise[3] = {noisy.beta - objective.beta,
+                             noisy.alpha[0] - objective.alpha[0],
+                             noisy.m(0, 1) - objective.m(0, 1)};
+    for (int k = 0; k < 3; ++k) {
+      sum[k] += noise[k];
+      sum_abs[k] += std::fabs(noise[k]);
+      sum_sq[k] += noise[k] * noise[k];
+    }
+  }
+  for (int k = 0; k < 3; ++k) {
+    const double mean = sum[k] / kTrials;
+    const double mad = sum_abs[k] / kTrials;
+    const double var = sum_sq[k] / kTrials - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05 * b) << "coefficient " << k;
+    EXPECT_NEAR(mad, b, 0.03 * b) << "coefficient " << k;
+    EXPECT_NEAR(var, 2.0 * b * b, 0.15 * b * b) << "coefficient " << k;
+  }
+}
+
+TEST(EmpiricalDpTest, ResamplingDoublesReportedEpsilonSpent) {
+  // Lemma 5: the repeat-until-bounded procedure is (2ε)-DP even when the
+  // first draw is accepted, so kResample must always report 2ε while every
+  // other post-processing mode reports ε.
+  linalg::Matrix x(4, 2);
+  x(0, 0) = 0.9;
+  x(1, 1) = 0.8;
+  x(2, 0) = -0.4;
+  x(3, 1) = 0.5;
+  linalg::Vector y{0.5, -0.2, 0.7, 0.1};
+  const auto f = core::BuildLinearObjective(x, y);
+  const double delta = core::LinearRegressionSensitivity(2);
+
+  for (double epsilon : {0.5, 0.8, 3.2}) {
+    core::FmOptions options;
+    options.epsilon = epsilon;
+
+    options.post_processing = core::PostProcessing::kResample;
+    Rng rng(59);
+    const auto resampled =
+        core::FunctionalMechanism::FitQuadratic(f, delta, options, rng);
+    ASSERT_TRUE(resampled.ok());
+    EXPECT_DOUBLE_EQ(resampled.ValueOrDie().epsilon_spent, 2.0 * epsilon);
+    EXPECT_GE(resampled.ValueOrDie().attempts, 1);
+
+    for (auto mode : {core::PostProcessing::kAdaptive,
+                      core::PostProcessing::kRegularizeAndTrim}) {
+      options.post_processing = mode;
+      Rng mode_rng(61);
+      const auto fit =
+          core::FunctionalMechanism::FitQuadratic(f, delta, options, mode_rng);
+      ASSERT_TRUE(fit.ok());
+      EXPECT_DOUBLE_EQ(fit.ValueOrDie().epsilon_spent, epsilon);
+    }
+  }
+}
+
 TEST(EmpiricalDpTest, NoiseActuallyCalibratedToDeltaOverEpsilon) {
   // The released β is the true β plus Lap(Δ/ε): its mean absolute deviation
   // must match Δ/ε (would fail if ε or Δ were applied per-coefficient

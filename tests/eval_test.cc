@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/fm_algorithm.h"
 #include "baselines/no_privacy.h"
 #include "common/rng.h"
 #include "eval/cross_validation.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/stopwatch.h"
+#include "exec/thread_pool.h"
 
 namespace fm::eval {
 namespace {
@@ -103,6 +105,43 @@ TEST(CrossValidationTest, DeterministicGivenSeed) {
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_DOUBLE_EQ(a.ValueOrDie().mean_error, b.ValueOrDie().mean_error);
   EXPECT_DOUBLE_EQ(a.ValueOrDie().stddev_error, b.ValueOrDie().stddev_error);
+}
+
+TEST(CrossValidationTest, BitIdenticalAcrossThreadCounts) {
+  // The engine's core guarantee: a noise-consuming private algorithm run
+  // through CV produces bit-identical statistics on 1, 2 and 8 threads,
+  // because every (repeat, fold) task draws from its own substream.
+  const auto ds = MakeLinearData(150, 3, 49);
+  core::FmOptions fm_options;
+  fm_options.epsilon = 0.8;
+  baselines::FmAlgorithm algo(fm_options);
+
+  exec::ThreadPool serial_pool(1);
+  CvOptions options;
+  options.repeats = 2;
+  options.seed = 888;
+  options.pool = &serial_pool;
+  const auto baseline =
+      CrossValidate(algo, ds, data::TaskKind::kLinear, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  for (size_t threads : {2u, 8u}) {
+    exec::ThreadPool pool(threads);
+    options.pool = &pool;
+    const auto parallel =
+        CrossValidate(algo, ds, data::TaskKind::kLinear, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(parallel.ValueOrDie().mean_error,
+              baseline.ValueOrDie().mean_error)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.ValueOrDie().stddev_error,
+              baseline.ValueOrDie().stddev_error)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.ValueOrDie().evaluations,
+              baseline.ValueOrDie().evaluations);
+    EXPECT_EQ(parallel.ValueOrDie().failures, baseline.ValueOrDie().failures);
+  }
 }
 
 TEST(CrossValidationTest, ValidatesOptions) {

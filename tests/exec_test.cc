@@ -1,0 +1,251 @@
+// Tests for the exec/ subsystem: thread-pool correctness (completion,
+// nested submission, exception propagation) and the determinism contract of
+// ParallelFor/ParallelMap — identical results for 1, 2 and 8 threads.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+
+namespace fm::exec {
+namespace {
+
+// Simple completion latch for fire-and-forget Submit tests.
+class Latch {
+ public:
+  explicit Latch(int count) : remaining_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  bool WaitFor(std::chrono::seconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return remaining_ <= 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> executed{0};
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      latch.CountDown();
+    });
+  }
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(30)));
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&] { executed.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool joins after the queues drain.
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionCompletesOnSingleThread) {
+  // A task submitting follow-up work must not deadlock even when the pool
+  // has a single worker: nested tasks go to the submitting worker's shard.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  Latch latch(3);
+  pool.Submit([&] {
+    executed.fetch_add(1);
+    pool.Submit([&] {
+      executed.fetch_add(1);
+      pool.Submit([&] {
+        executed.fetch_add(1);
+        latch.CountDown();
+      });
+      latch.CountDown();
+    });
+    latch.CountDown();
+  });
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(30)));
+  EXPECT_EQ(executed.load(), 3);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadIsVisibleInsideTasks) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  std::atomic<bool> inside{false};
+  Latch latch(1);
+  pool.Submit([&] {
+    inside.store(ThreadPool::InWorkerThread());
+    latch.CountDown();
+  });
+  ASSERT_TRUE(latch.WaitFor(std::chrono::seconds(30)));
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(
+      kN, [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      pool);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  // Two indices throw; the rethrown exception must be index 3's regardless
+  // of which worker reached it first.
+  try {
+    ParallelFor(
+        16,
+        [&](size_t i) {
+          if (i == 3 || i == 11) {
+            throw std::runtime_error("boom at " + std::to_string(i));
+          }
+        },
+        pool);
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 3");
+  }
+}
+
+TEST(ParallelForTest, KeepsRunningRemainingIndicesAfterAThrow) {
+  // Same contract on the pooled path and the 1-thread inline path: every
+  // index still runs, then the lowest-index exception is rethrown.
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 64;
+    std::vector<std::atomic<int>> hits(kN);
+    try {
+      ParallelFor(
+          kN,
+          [&](size_t i) {
+            hits[i].fetch_add(1);
+            if (i % 7 == 0) throw std::runtime_error("x at " + std::to_string(i));
+          },
+          pool);
+      FAIL() << "expected ParallelFor to rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "x at 0") << "threads=" << threads;
+    }
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedParallelRegionsRunInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  ParallelFor(
+      8,
+      [&](size_t outer) {
+        // Inner region executes inline on the current worker; no deadlock,
+        // all indices covered.
+        ParallelFor(
+            8,
+            [&](size_t inner) {
+              hits[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+            },
+            pool);
+      },
+      pool);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// The engine's determinism contract: ParallelMap with per-index substreams
+// returns bit-identical results no matter the thread count.
+TEST(ParallelMapTest, DeterministicAcrossThreadCounts) {
+  constexpr uint64_t kSeed = 0xFEEDFACE;
+  constexpr size_t kN = 128;
+  const auto task = [&](size_t i) {
+    Rng rng(Rng::Fork(kSeed, i));
+    // A mix of draws like a real training task would make.
+    double acc = 0.0;
+    for (int k = 0; k < 10; ++k) acc += rng.Laplace(1.0) + rng.Gaussian();
+    return acc;
+  };
+
+  std::vector<double> serial;
+  serial.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) serial.push_back(task(i));
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto parallel = ParallelMap(kN, task, pool);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < kN; ++i) {
+      // Bit-identical, not approximately equal.
+      ASSERT_EQ(parallel[i], serial[i])
+          << "threads=" << threads << " index=" << i;
+    }
+  }
+}
+
+TEST(ParallelMapTest, ReturnsResultsInIndexOrder) {
+  ThreadPool pool(4);
+  const auto squares =
+      ParallelMap(32, [](size_t i) { return i * i; }, pool);
+  for (size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelMapTest, SupportsNonDefaultConstructibleResults) {
+  struct NoDefault {
+    explicit NoDefault(size_t v) : value(v) {}
+    size_t value;
+  };
+  ThreadPool pool(2);
+  const auto out =
+      ParallelMap(16, [](size_t i) { return NoDefault(i + 1); }, pool);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].value, i + 1);
+  }
+}
+
+TEST(RngForkTest, SubstreamsAreStableAndDistinct) {
+  // Stable: same (seed, task) → same substream seed.
+  EXPECT_EQ(Rng::Fork(42, 7), Rng::Fork(42, 7));
+  // Distinct across tasks and disjoint from the DeriveSeed family.
+  EXPECT_NE(Rng::Fork(42, 7), Rng::Fork(42, 8));
+  EXPECT_NE(Rng::Fork(42, 7), DeriveSeed(42, 7));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnv) {
+  // FM_THREADS drives the global pool size; exercise the parser directly.
+  ASSERT_EQ(setenv("FM_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  ASSERT_EQ(setenv("FM_THREADS", "0", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ASSERT_EQ(unsetenv("FM_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace fm::exec

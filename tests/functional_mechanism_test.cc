@@ -16,8 +16,9 @@ TEST(SensitivityTest, MatchesPaperFormulas) {
   EXPECT_DOUBLE_EQ(LinearRegressionSensitivity(3), 32.0);
   EXPECT_DOUBLE_EQ(LinearRegressionSensitivity(13), 392.0);
   for (size_t d = 1; d <= 20; ++d) {
+    const double dd = static_cast<double>(d);
     EXPECT_DOUBLE_EQ(LinearRegressionSensitivity(d),
-                     2.0 * (d + 1.0) * (d + 1.0));
+                     2.0 * (dd + 1.0) * (dd + 1.0));
   }
   // §5.3: Δ = d²/4 + 3d.
   EXPECT_DOUBLE_EQ(LogisticRegressionSensitivity(2), 7.0);

@@ -146,7 +146,7 @@ TEST_F(IntegrationTest, SamplingRateSweepKeepsContract) {
     const auto sampled = full.Sample(rate, rng);
     EXPECT_TRUE(sampled.SatisfiesNormalizationContract());
     EXPECT_EQ(sampled.size(),
-              static_cast<size_t>(std::ceil(rate * full.size())));
+              static_cast<size_t>(std::ceil(rate * static_cast<double>(full.size()))));
   }
 }
 
