@@ -91,9 +91,13 @@ BenchContext LoadContext() {
 
 void PrintBanner(const std::string& bench_name, const BenchContext& ctx) {
   std::printf("# %s — Functional Mechanism reproduction\n", bench_name.c_str());
-  std::printf("# scale=%.3g repeats=%zu folds=%zu seed=%llu", ctx.config.scale,
-              ctx.config.repeats, ctx.config.folds,
-              static_cast<unsigned long long>(ctx.config.seed));
+  // The fold-objective cache state matters for reading the figs 7–9 timing
+  // columns (FM/Truncated/NoPrivacy-linear per-fold times drop when on), so
+  // the banner records it alongside the other knobs.
+  std::printf("# scale=%.3g repeats=%zu folds=%zu seed=%llu cv_cache=%s",
+              ctx.config.scale, ctx.config.repeats, ctx.config.folds,
+              static_cast<unsigned long long>(ctx.config.seed),
+              eval::DefaultObjectiveCacheEnabled() ? "on" : "off");
   for (const auto& bundle : ctx.bundles) {
     std::printf("  %s=%zu rows", bundle.name.c_str(),
                 bundle.table.num_rows());

@@ -28,7 +28,11 @@ void PrintBanner(const std::string& bench_name, const BenchContext& ctx);
 /// exec::ThreadPool (FM_THREADS) and print rows serially in x order, so the
 /// accuracy tables are byte-identical for every thread count; the timing
 /// tables of figs 7–9 report per-fold thread-CPU seconds — stable across
-/// thread counts but, being measured time, still run-dependent.
+/// thread counts but, being measured time, still run-dependent. Each point's
+/// CV run derives its fold objectives from a cached dataset-global sum
+/// (FM_CV_CACHE=0 reverts to per-fold re-summation; the banner records the
+/// state, and the accuracy tables are identical either way at their printed
+/// precision).
 
 /// Figure 4: accuracy vs dimensionality at the default ε and sampling rate.
 /// `figure` is the per-dataset label prefix, e.g. "fig4a" for US-Linear.

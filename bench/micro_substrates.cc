@@ -10,7 +10,9 @@
 #include "core/fm_linear.h"
 #include "core/fm_logistic.h"
 #include "core/functional_mechanism.h"
+#include "core/objective_accumulator.h"
 #include "core/taylor.h"
+#include "data/dataset.h"
 #include "dp/laplace_mechanism.h"
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
@@ -95,6 +97,35 @@ void BM_BuildLinearObjective(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BuildLinearObjective)->Arg(10000)->Arg(50000);
+
+// The one-off cost of the fold cache: one compensated pass over all tuples.
+void BM_ObjectiveAccumulatorBuild(benchmark::State& state) {
+  const auto ds =
+      RandomDataset(static_cast<size_t>(state.range(0)), 13, false, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ObjectiveAccumulator::Build(
+        ds, core::ObjectiveKind::kLinear));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ObjectiveAccumulatorBuild)->Arg(10000)->Arg(50000);
+
+// The per-fold cost after caching: global-sum-minus-test-slice touches only
+// the held-out n/k tuples. Compare against BM_BuildLinearObjective at the
+// same n — the direct path re-sums the other (k−1)/k·n tuples per fold.
+void BM_TrainObjectiveForFold(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto ds = RandomDataset(n, 13, false, 5);
+  const auto acc =
+      core::ObjectiveAccumulator::Build(ds, core::ObjectiveKind::kLinear);
+  Rng rng(12);
+  const auto splits = data::KFoldSplits(n, 5, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.TrainObjectiveForFold(splits[0].test));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrainObjectiveForFold)->Arg(10000)->Arg(50000);
 
 void BM_FmLinearFit(benchmark::State& state) {
   const auto ds =

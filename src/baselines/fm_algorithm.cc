@@ -21,4 +21,21 @@ Result<TrainedModel> FmAlgorithm::Train(const data::RegressionDataset& train,
   return model;
 }
 
+Result<TrainedModel> FmAlgorithm::TrainFromObjective(
+    const opt::QuadraticModel& objective, data::TaskKind task,
+    Rng& rng) const {
+  core::FmFitReport fit;
+  if (task == data::TaskKind::kLinear) {
+    core::FmLinearRegression regression(options_);
+    FM_ASSIGN_OR_RETURN(fit, regression.FitObjective(objective, rng));
+  } else {
+    core::FmLogisticRegression regression(options_);
+    FM_ASSIGN_OR_RETURN(fit, regression.FitObjective(objective, rng));
+  }
+  TrainedModel model;
+  model.omega = std::move(fit.omega);
+  model.epsilon_spent = fit.epsilon_spent;
+  return model;
+}
+
 }  // namespace fm::baselines

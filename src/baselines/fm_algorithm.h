@@ -19,6 +19,17 @@ class FmAlgorithm : public RegressionAlgorithm {
   Result<TrainedModel> Train(const data::RegressionDataset& train,
                              data::TaskKind task, Rng& rng) const override;
 
+  /// Both FM objectives are per-tuple sums (§4.2, §5.3), so either task can
+  /// be trained from a cached fold objective.
+  bool SupportsObjectiveCache(data::TaskKind task) const override {
+    (void)task;
+    return true;
+  }
+
+  Result<TrainedModel> TrainFromObjective(const opt::QuadraticModel& objective,
+                                          data::TaskKind task,
+                                          Rng& rng) const override;
+
   const core::FmOptions& options() const { return options_; }
 
  private:

@@ -7,6 +7,21 @@
 
 namespace fm::baselines {
 
+namespace {
+
+// Minimizes a quadratic objective exactly, falling back to the minimum-norm
+// stationary point when the Hessian is singular (collinear features).
+Result<linalg::Vector> MinimizeWithPseudoFallback(
+    const opt::QuadraticModel& objective) {
+  Result<linalg::Vector> direct = objective.Minimize();
+  if (direct.ok()) return direct;
+  linalg::Matrix two_m = objective.m;
+  two_m *= 2.0;
+  return linalg::SolveSymmetricPseudo(two_m, -objective.alpha);
+}
+
+}  // namespace
+
 Result<TrainedModel> NoPrivacy::Train(const data::RegressionDataset& train,
                                       data::TaskKind task, Rng& rng) const {
   (void)rng;  // deterministic
@@ -20,6 +35,20 @@ Result<TrainedModel> NoPrivacy::Train(const data::RegressionDataset& train,
     FM_ASSIGN_OR_RETURN(model.omega,
                         opt::FitLogisticNewton(train.x, train.y));
   }
+  return model;
+}
+
+Result<TrainedModel> NoPrivacy::TrainFromObjective(
+    const opt::QuadraticModel& objective, data::TaskKind task,
+    Rng& rng) const {
+  if (task != data::TaskKind::kLinear) {
+    return RegressionAlgorithm::TrainFromObjective(objective, task, rng);
+  }
+  // Minimizing the cached §4.2 objective solves the same normal equations
+  // as LeastSquares on the materialized split — including its minimum-norm
+  // pseudo-inverse fallback when the Gram matrix is singular.
+  TrainedModel model;
+  FM_ASSIGN_OR_RETURN(model.omega, MinimizeWithPseudoFallback(objective));
   return model;
 }
 
@@ -38,16 +67,21 @@ Result<TrainedModel> Truncated::Train(const data::RegressionDataset& train,
   }
   const opt::QuadraticModel objective =
       core::BuildTruncatedLogisticObjective(train.x, train.y);
-  Result<linalg::Vector> direct = objective.Minimize();
-  if (direct.ok()) {
-    model.omega = std::move(direct).ValueOrDie();
-    return model;
-  }
-  // Singular Gram matrix (collinear features): minimum-norm stationary point.
-  linalg::Matrix two_m = objective.m;
-  two_m *= 2.0;
-  FM_ASSIGN_OR_RETURN(model.omega,
-                      linalg::SolveSymmetricPseudo(two_m, -objective.alpha));
+  // Singular Gram (collinear features) falls back to the minimum-norm
+  // stationary point.
+  FM_ASSIGN_OR_RETURN(model.omega, MinimizeWithPseudoFallback(objective));
+  return model;
+}
+
+Result<TrainedModel> Truncated::TrainFromObjective(
+    const opt::QuadraticModel& objective, data::TaskKind task, Rng& rng) const {
+  (void)rng;  // deterministic
+  (void)task;
+  // Either task: the objective's minimizer is what Train computes, and the
+  // pseudo fallback mirrors LeastSquares' (linear) and Train's (logistic)
+  // handling of a singular Gram matrix.
+  TrainedModel model;
+  FM_ASSIGN_OR_RETURN(model.omega, MinimizeWithPseudoFallback(objective));
   return model;
 }
 

@@ -17,6 +17,17 @@ class NoPrivacy : public RegressionAlgorithm {
 
   Result<TrainedModel> Train(const data::RegressionDataset& train,
                              data::TaskKind task, Rng& rng) const override;
+
+  /// Linear only: least squares is exactly the minimizer of the §4.2
+  /// objective sum, so it can run off a cached fold objective. The logistic
+  /// task (exact Newton) needs the raw tuples.
+  bool SupportsObjectiveCache(data::TaskKind task) const override {
+    return task == data::TaskKind::kLinear;
+  }
+
+  Result<TrainedModel> TrainFromObjective(const opt::QuadraticModel& objective,
+                                          data::TaskKind task,
+                                          Rng& rng) const override;
 };
 
 /// The paper's Truncated comparator: non-private minimization of the
@@ -34,6 +45,17 @@ class Truncated : public RegressionAlgorithm {
 
   Result<TrainedModel> Train(const data::RegressionDataset& train,
                              data::TaskKind task, Rng& rng) const override;
+
+  /// Both of Truncated's objectives (§4.2 exact, §5.3 surrogate) are
+  /// per-tuple sums, so either task can run off a cached fold objective.
+  bool SupportsObjectiveCache(data::TaskKind task) const override {
+    (void)task;
+    return true;
+  }
+
+  Result<TrainedModel> TrainFromObjective(const opt::QuadraticModel& objective,
+                                          data::TaskKind task,
+                                          Rng& rng) const override;
 };
 
 }  // namespace fm::baselines

@@ -10,6 +10,7 @@
 #include "data/dataset.h"
 #include "data/normalizer.h"
 #include "linalg/vector.h"
+#include "opt/quadratic_model.h"
 
 namespace fm::baselines {
 
@@ -42,6 +43,30 @@ class RegressionAlgorithm {
   /// the given task, drawing any randomness from `rng`.
   virtual Result<TrainedModel> Train(const data::RegressionDataset& train,
                                      data::TaskKind task, Rng& rng) const = 0;
+
+  /// True when, for `task`, Train consumes the training tuples only through
+  /// the fold-decomposable quadratic objective (the §4.2 sum or the §5.3
+  /// surrogate), so eval::CrossValidate may call TrainFromObjective with an
+  /// objective derived from a core::ObjectiveAccumulator's cached global
+  /// sum instead of materializing and re-summing a per-fold matrix.
+  virtual bool SupportsObjectiveCache(data::TaskKind task) const {
+    (void)task;
+    return false;
+  }
+
+  /// Trains from a pre-built training objective (see SupportsObjectiveCache;
+  /// the objective kind is core::ObjectiveKindForTask(task)). Must draw the
+  /// same randomness as the equivalent Train call so cached and direct paths
+  /// stay statistically interchangeable. Default: Unimplemented.
+  virtual Result<TrainedModel> TrainFromObjective(
+      const opt::QuadraticModel& objective, data::TaskKind task,
+      Rng& rng) const {
+    (void)objective;
+    (void)task;
+    (void)rng;
+    return Status::Unimplemented(name() +
+                                 " cannot train from a cached objective");
+  }
 };
 
 }  // namespace fm::baselines

@@ -14,8 +14,12 @@ Result<FmFitReport> FmLinearRegression::Fit(
         "dataset violates the §3 contract (‖x‖ ≤ 1, y ∈ [−1,1]); run it "
         "through data::Normalizer first");
   }
-  const opt::QuadraticModel objective = BuildLinearObjective(train.x, train.y);
-  const double delta = LinearRegressionSensitivity(train.dim());
+  return FitObjective(BuildLinearObjective(train.x, train.y), rng);
+}
+
+Result<FmFitReport> FmLinearRegression::FitObjective(
+    const opt::QuadraticModel& objective, Rng& rng) const {
+  const double delta = LinearRegressionSensitivity(objective.dim());
   return FunctionalMechanism::FitQuadratic(objective, delta, options_, rng);
 }
 

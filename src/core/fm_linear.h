@@ -30,6 +30,14 @@ class FmLinearRegression {
   Result<FmFitReport> Fit(const data::RegressionDataset& train,
                           Rng& rng) const;
 
+  /// Runs the mechanism on a pre-built §4.2 objective (e.g. one derived from
+  /// a core::ObjectiveAccumulator's cached global sum) instead of
+  /// re-summing the training tuples. The caller is responsible for the
+  /// objective having been built from contract-satisfying data — Δ = 2(d+1)²
+  /// is only valid under ‖x‖ ≤ 1, y ∈ [−1, 1].
+  Result<FmFitReport> FitObjective(const opt::QuadraticModel& objective,
+                                   Rng& rng) const;
+
   /// ŷ = xᵀω.
   static double Predict(const linalg::Vector& omega, const linalg::Vector& x);
 

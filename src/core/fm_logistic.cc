@@ -21,9 +21,12 @@ Result<FmFitReport> FmLogisticRegression::Fit(
           "logistic regression requires labels in {0, 1} (Definition 2)");
     }
   }
-  const opt::QuadraticModel objective =
-      BuildTruncatedLogisticObjective(train.x, train.y);
-  const double delta = LogisticRegressionSensitivity(train.dim());
+  return FitObjective(BuildTruncatedLogisticObjective(train.x, train.y), rng);
+}
+
+Result<FmFitReport> FmLogisticRegression::FitObjective(
+    const opt::QuadraticModel& objective, Rng& rng) const {
+  const double delta = LogisticRegressionSensitivity(objective.dim());
   return FunctionalMechanism::FitQuadratic(objective, delta, options_, rng);
 }
 

@@ -27,6 +27,14 @@ class FmLogisticRegression {
   Result<FmFitReport> Fit(const data::RegressionDataset& train,
                           Rng& rng) const;
 
+  /// Runs the perturb-and-minimize tail of Algorithm 2 on a pre-built §5.3
+  /// surrogate (e.g. one derived from a core::ObjectiveAccumulator's cached
+  /// global sum). The caller is responsible for the objective having been
+  /// built from contract-satisfying {0,1}-labeled data — Δ = d²/4 + 3d
+  /// depends on it.
+  Result<FmFitReport> FitObjective(const opt::QuadraticModel& objective,
+                                   Rng& rng) const;
+
   /// Pr[y = 1 | x] = exp(xᵀω)/(1 + exp(xᵀω)).
   static double PredictProbability(const linalg::Vector& omega,
                                    const linalg::Vector& x);

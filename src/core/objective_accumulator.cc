@@ -1,0 +1,178 @@
+#include "core/objective_accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/taylor.h"
+#include "exec/parallel.h"
+
+namespace fm::core {
+
+namespace {
+
+// Rows per parallel shard. Fixed (never derived from the thread count), so
+// the shard partial sums — and therefore the serially-reduced total — are
+// bit-identical for every pool size.
+constexpr size_t kShardRows = 1024;
+
+// Neumaier's variant of Kahan summation: sum += v with the rounding error
+// banked in comp. Unlike plain Kahan it stays exact when |v| > |sum|.
+inline void CompensatedAdd(double& sum, double& comp, double v) {
+  const double t = sum + v;
+  if (std::fabs(sum) >= std::fabs(v)) {
+    comp += (sum - t) + v;
+  } else {
+    comp += (v - t) + sum;
+  }
+  sum = t;
+}
+
+}  // namespace
+
+ObjectiveKind ObjectiveKindForTask(data::TaskKind task) {
+  return task == data::TaskKind::kLinear ? ObjectiveKind::kLinear
+                                         : ObjectiveKind::kTruncatedLogistic;
+}
+
+void ObjectiveAccumulator::AccumulateTuple(size_t row,
+                                           std::vector<double>& sum,
+                                           std::vector<double>& comp) const {
+  const double* x = dataset_->x.Row(row);
+  const double y = dataset_->y[row];
+  const size_t d = dim_;
+
+  double m_scale, alpha_bias, beta_i;
+  switch (kind_) {
+    case ObjectiveKind::kLinear:
+      // (y − xᵀω)² = ωᵀ(x xᵀ)ω − 2y xᵀω + y².
+      m_scale = 1.0;
+      alpha_bias = -2.0 * y;
+      beta_i = y * y;
+      break;
+    case ObjectiveKind::kTruncatedLogistic:
+    default:
+      // log2 + ½xᵀω + ⅛(xᵀω)² − y·xᵀω  (Equation 10 summed per tuple).
+      m_scale = LogisticF1SecondDerivative0() / 2.0;  // 1/8
+      alpha_bias = LogisticF1Derivative0() - y;       // ½ − y
+      beta_i = LogisticF1Value0();                    // log 2
+      break;
+  }
+
+  size_t idx = 0;
+  for (size_t i = 0; i < d; ++i) {
+    const double xi = m_scale * x[i];
+    for (size_t j = i; j < d; ++j, ++idx) {
+      CompensatedAdd(sum[idx], comp[idx], xi * x[j]);
+    }
+  }
+  for (size_t j = 0; j < d; ++j, ++idx) {
+    // kLinear: −2y·x_j; kTruncatedLogistic: (½ − y)·x_j.
+    CompensatedAdd(sum[idx], comp[idx], alpha_bias * x[j]);
+  }
+  CompensatedAdd(sum[idx], comp[idx], beta_i);
+}
+
+opt::QuadraticModel ObjectiveAccumulator::Round(
+    const std::vector<double>& sum, const std::vector<double>& comp) const {
+  const size_t d = dim_;
+  opt::QuadraticModel model;
+  model.m = linalg::Matrix(d, d);
+  model.alpha = linalg::Vector(d);
+  size_t idx = 0;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j, ++idx) {
+      const double value = sum[idx] + comp[idx];
+      model.m(i, j) = value;
+      model.m(j, i) = value;
+    }
+  }
+  for (size_t j = 0; j < d; ++j, ++idx) {
+    model.alpha[j] = sum[idx] + comp[idx];
+  }
+  model.beta = sum[idx] + comp[idx];
+  return model;
+}
+
+ObjectiveAccumulator ObjectiveAccumulator::Build(
+    const data::RegressionDataset& dataset, ObjectiveKind kind,
+    exec::ThreadPool* pool) {
+  ObjectiveAccumulator acc;
+  acc.dataset_ = &dataset;
+  acc.kind_ = kind;
+  acc.dim_ = dataset.dim();
+  const size_t coefficients = acc.num_coefficients();
+  acc.sum_.assign(coefficients, 0.0);
+  acc.comp_.assign(coefficients, 0.0);
+
+  const size_t n = dataset.size();
+  if (n == 0) return acc;
+
+  // One compensated partial sum per fixed-size shard, filled in parallel;
+  // shard boundaries depend only on n, so any thread count produces the same
+  // partials and the serial in-order reduction the same total.
+  const size_t num_shards = (n + kShardRows - 1) / kShardRows;
+  std::vector<std::vector<double>> shard_sums(
+      num_shards, std::vector<double>(coefficients, 0.0));
+  std::vector<std::vector<double>> shard_comps(
+      num_shards, std::vector<double>(coefficients, 0.0));
+  exec::ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        const size_t begin = s * kShardRows;
+        const size_t end = std::min(n, begin + kShardRows);
+        for (size_t row = begin; row < end; ++row) {
+          acc.AccumulateTuple(row, shard_sums[s], shard_comps[s]);
+        }
+      },
+      pool != nullptr ? *pool : exec::ThreadPool::Global());
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t idx = 0; idx < coefficients; ++idx) {
+      CompensatedAdd(acc.sum_[idx], acc.comp_[idx], shard_sums[s][idx]);
+      acc.comp_[idx] += shard_comps[s][idx];
+    }
+  }
+  return acc;
+}
+
+opt::QuadraticModel ObjectiveAccumulator::Global() const {
+  return Round(sum_, comp_);
+}
+
+opt::QuadraticModel ObjectiveAccumulator::SliceObjective(
+    const std::vector<size_t>& rows) const {
+  const size_t coefficients = num_coefficients();
+  std::vector<double> sum(coefficients, 0.0);
+  std::vector<double> comp(coefficients, 0.0);
+  for (size_t row : rows) {
+    FM_CHECK(row < dataset_->size());
+    AccumulateTuple(row, sum, comp);
+  }
+  return Round(sum, comp);
+}
+
+opt::QuadraticModel ObjectiveAccumulator::TrainObjectiveForFold(
+    const std::vector<size_t>& test_rows) const {
+  const size_t coefficients = num_coefficients();
+  std::vector<double> slice_sum(coefficients, 0.0);
+  std::vector<double> slice_comp(coefficients, 0.0);
+  for (size_t row : test_rows) {
+    FM_CHECK(row < dataset_->size());
+    AccumulateTuple(row, slice_sum, slice_comp);
+  }
+  // global − slice, with both compensations carried through: the rounded
+  // result is within 1 ulp of the exact training-tuple sum, so no
+  // catastrophic cancellation can surface (the slice is a strict subset, and
+  // what the subtraction cancels the compensation terms restore).
+  std::vector<double> sum(coefficients);
+  std::vector<double> comp(coefficients);
+  for (size_t idx = 0; idx < coefficients; ++idx) {
+    sum[idx] = sum_[idx];
+    comp[idx] = comp_[idx] - slice_comp[idx];
+    CompensatedAdd(sum[idx], comp[idx], -slice_sum[idx]);
+  }
+  return Round(sum, comp);
+}
+
+}  // namespace fm::core

@@ -1,0 +1,108 @@
+#ifndef FM_CORE_OBJECTIVE_ACCUMULATOR_H_
+#define FM_CORE_OBJECTIVE_ACCUMULATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "opt/quadratic_model.h"
+
+namespace fm::exec {
+class ThreadPool;
+}  // namespace fm::exec
+
+namespace fm::core {
+
+/// Which per-tuple quadratic contribution an ObjectiveAccumulator sums.
+enum class ObjectiveKind {
+  /// §4.2's exact linear-regression objective: tuple i contributes
+  /// M_i = x_i x_iᵀ, α_i = −2 y_i x_i, β_i = y_i².
+  kLinear,
+  /// §5.3's degree-2 Taylor surrogate of the logistic objective: tuple i
+  /// contributes M_i = ⅛ x_i x_iᵀ, α_i = (½ − y_i) x_i, β_i = log 2.
+  kTruncatedLogistic,
+};
+
+/// The objective kind that the §7 evaluation uses for `task`.
+ObjectiveKind ObjectiveKindForTask(data::TaskKind task);
+
+/// Fold-decomposable objective cache — the algorithmic core of the k-fold
+/// speedup. Both regression objectives are plain sums of per-tuple quadratic
+/// contributions (§4.2, §5.3), so a fold's training objective is the
+/// dataset-global sum minus the held-out tuples' contribution:
+///
+///   f_train(ω) = f_D(ω) − f_test(ω).
+///
+/// The accumulator computes every tuple's contribution exactly once per
+/// dataset — in parallel over fixed-size row shards via exec::ParallelFor,
+/// with the shard partials reduced serially in shard order so the result is
+/// bit-identical for every thread count — and then derives each fold's
+/// training objective in O(|test| · d²) instead of O(|train| · d²). Over a
+/// k-fold repeat that turns (k−1)·n tuple visits into n, and the global pass
+/// itself is shared by all repeats.
+///
+/// Every coefficient is kept as a Neumaier compensated (sum, error) pair and
+/// the compensation is carried through the subtraction, so the derived
+/// training objective is a faithful rounding of the exact tuple sum (within
+/// 1 ulp per coefficient) — the test fold is only 1/k of the data, so the
+/// subtraction loses at most a factor k/(k−1) of magnitude and the
+/// compensation absorbs what little cancellation occurs.
+///
+/// The accumulator keeps a pointer to the dataset it was built from (to read
+/// test-slice tuples); the dataset must outlive it.
+class ObjectiveAccumulator {
+ public:
+  /// Sums all tuple contributions of `dataset` on `pool` (nullptr → the
+  /// global FM_THREADS pool). O(n · d²), one pass.
+  static ObjectiveAccumulator Build(const data::RegressionDataset& dataset,
+                                    ObjectiveKind kind,
+                                    exec::ThreadPool* pool = nullptr);
+
+  ObjectiveKind kind() const { return kind_; }
+  /// Feature dimensionality d.
+  size_t dim() const { return dim_; }
+  /// Number of tuples accumulated.
+  size_t size() const { return dataset_ == nullptr ? 0 : dataset_->size(); }
+
+  /// The rounded dataset-global objective — equal to BuildLinearObjective /
+  /// BuildTruncatedLogisticObjective on the full dataset up to summation
+  /// order (and more accurate, being compensated).
+  opt::QuadraticModel Global() const;
+
+  /// The objective of just the tuples at `rows`, compensated and rounded.
+  /// O(|rows| · d²).
+  opt::QuadraticModel SliceObjective(const std::vector<size_t>& rows) const;
+
+  /// The training objective of the fold whose held-out (test) tuples are
+  /// `test_rows`: the cached global sum minus the test slice's contribution,
+  /// with compensation carried through the subtraction. O(|test_rows| · d²).
+  opt::QuadraticModel TrainObjectiveForFold(
+      const std::vector<size_t>& test_rows) const;
+
+ private:
+  ObjectiveAccumulator() = default;
+
+  // Flat compensated coefficient layout: the M upper triangle in row-major
+  // order (d(d+1)/2 entries — M stays symmetric, so only one triangle is
+  // accumulated and Round mirrors it), then α (d), then β (1).
+  size_t num_coefficients() const { return dim_ * (dim_ + 1) / 2 + dim_ + 1; }
+
+  // Adds tuple `row`'s contribution into the (sum, comp) arrays.
+  void AccumulateTuple(size_t row, std::vector<double>& sum,
+                       std::vector<double>& comp) const;
+
+  // Rounds flat compensated coefficients into a QuadraticModel.
+  opt::QuadraticModel Round(const std::vector<double>& sum,
+                            const std::vector<double>& comp) const;
+
+  const data::RegressionDataset* dataset_ = nullptr;
+  ObjectiveKind kind_ = ObjectiveKind::kLinear;
+  size_t dim_ = 0;
+  std::vector<double> sum_;   // compensated global coefficient sums
+  std::vector<double> comp_;  // their Neumaier compensation terms
+};
+
+}  // namespace fm::core
+
+#endif  // FM_CORE_OBJECTIVE_ACCUMULATOR_H_

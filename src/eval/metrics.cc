@@ -5,32 +5,73 @@
 
 namespace fm::eval {
 
-double MeanSquaredError(const linalg::Vector& omega,
-                        const data::RegressionDataset& dataset) {
-  FM_CHECK(dataset.size() > 0 && omega.size() == dataset.dim());
+namespace {
+
+// Both metrics, over an arbitrary row-index mapping. The per-row arithmetic
+// and the accumulation order depend only on the visiting sequence, which is
+// why the index-view overloads are bit-identical to materializing
+// dataset.Select(rows) first.
+template <typename RowAt>
+double MseOver(const linalg::Vector& omega,
+               const data::RegressionDataset& dataset, size_t count,
+               RowAt row_at) {
+  FM_CHECK(count > 0 && omega.size() == dataset.dim());
   double sum = 0.0;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    const double* row = dataset.x.Row(i);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t r = row_at(i);
+    FM_CHECK(r < dataset.size());
+    const double* row = dataset.x.Row(r);
     double pred = 0.0;
     for (size_t j = 0; j < dataset.dim(); ++j) pred += row[j] * omega[j];
-    const double err = dataset.y[i] - pred;
+    const double err = dataset.y[r] - pred;
     sum += err * err;
   }
-  return sum / static_cast<double>(dataset.size());
+  return sum / static_cast<double>(count);
+}
+
+template <typename RowAt>
+double MisclassificationOver(const linalg::Vector& omega,
+                             const data::RegressionDataset& dataset,
+                             size_t count, RowAt row_at) {
+  FM_CHECK(count > 0 && omega.size() == dataset.dim());
+  size_t wrong = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t r = row_at(i);
+    FM_CHECK(r < dataset.size());
+    const double* row = dataset.x.Row(r);
+    double z = 0.0;
+    for (size_t j = 0; j < dataset.dim(); ++j) z += row[j] * omega[j];
+    const double predicted = opt::Sigmoid(z) > 0.5 ? 1.0 : 0.0;
+    if (predicted != dataset.y[r]) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(count);
+}
+
+}  // namespace
+
+double MeanSquaredError(const linalg::Vector& omega,
+                        const data::RegressionDataset& dataset) {
+  return MseOver(omega, dataset, dataset.size(), [](size_t i) { return i; });
+}
+
+double MeanSquaredError(const linalg::Vector& omega,
+                        const data::RegressionDataset& dataset,
+                        const std::vector<size_t>& rows) {
+  return MseOver(omega, dataset, rows.size(),
+                 [&rows](size_t i) { return rows[i]; });
 }
 
 double MisclassificationRate(const linalg::Vector& omega,
                              const data::RegressionDataset& dataset) {
-  FM_CHECK(dataset.size() > 0 && omega.size() == dataset.dim());
-  size_t wrong = 0;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    const double* row = dataset.x.Row(i);
-    double z = 0.0;
-    for (size_t j = 0; j < dataset.dim(); ++j) z += row[j] * omega[j];
-    const double predicted = opt::Sigmoid(z) > 0.5 ? 1.0 : 0.0;
-    if (predicted != dataset.y[i]) ++wrong;
-  }
-  return static_cast<double>(wrong) / static_cast<double>(dataset.size());
+  return MisclassificationOver(omega, dataset, dataset.size(),
+                               [](size_t i) { return i; });
+}
+
+double MisclassificationRate(const linalg::Vector& omega,
+                             const data::RegressionDataset& dataset,
+                             const std::vector<size_t>& rows) {
+  return MisclassificationOver(omega, dataset, rows.size(),
+                               [&rows](size_t i) { return rows[i]; });
 }
 
 double TaskError(data::TaskKind task, const linalg::Vector& omega,
@@ -38,6 +79,14 @@ double TaskError(data::TaskKind task, const linalg::Vector& omega,
   return task == data::TaskKind::kLinear
              ? MeanSquaredError(omega, dataset)
              : MisclassificationRate(omega, dataset);
+}
+
+double TaskError(data::TaskKind task, const linalg::Vector& omega,
+                 const data::RegressionDataset& dataset,
+                 const std::vector<size_t>& rows) {
+  return task == data::TaskKind::kLinear
+             ? MeanSquaredError(omega, dataset, rows)
+             : MisclassificationRate(omega, dataset, rows);
 }
 
 }  // namespace fm::eval

@@ -1,6 +1,9 @@
 #ifndef FM_EVAL_METRICS_H_
 #define FM_EVAL_METRICS_H_
 
+#include <cstddef>
+#include <vector>
+
 #include "data/dataset.h"
 #include "data/normalizer.h"
 #include "linalg/vector.h"
@@ -11,14 +14,32 @@ namespace fm::eval {
 double MeanSquaredError(const linalg::Vector& omega,
                         const data::RegressionDataset& dataset);
 
+/// MSE over just the tuples at `rows` — an index-based fold view, so the
+/// cross-validation cache path never materializes a per-fold matrix.
+/// Bit-identical to MeanSquaredError on dataset.Select(rows).
+double MeanSquaredError(const linalg::Vector& omega,
+                        const data::RegressionDataset& dataset,
+                        const std::vector<size_t>& rows);
+
 /// §7's logistic-task accuracy metric: the fraction of tuples whose
 /// predicted class (σ(xᵀω) > 0.5) differs from the label.
 double MisclassificationRate(const linalg::Vector& omega,
                              const data::RegressionDataset& dataset);
 
+/// Misclassification rate over just the tuples at `rows`; bit-identical to
+/// MisclassificationRate on dataset.Select(rows).
+double MisclassificationRate(const linalg::Vector& omega,
+                             const data::RegressionDataset& dataset,
+                             const std::vector<size_t>& rows);
+
 /// Dispatches to the task's §7 metric.
 double TaskError(data::TaskKind task, const linalg::Vector& omega,
                  const data::RegressionDataset& dataset);
+
+/// Index-based-view form of TaskError.
+double TaskError(data::TaskKind task, const linalg::Vector& omega,
+                 const data::RegressionDataset& dataset,
+                 const std::vector<size_t>& rows);
 
 }  // namespace fm::eval
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fails when README.md or docs/*.md contain broken relative links.
+
+Checks every inline markdown link [text](target) whose target is not an
+absolute URL or a pure #anchor:
+
+  * the linked file must exist relative to the containing document;
+  * a #fragment on a checked .md target must match one of its headings
+    (GitHub-style slugs).
+
+Usage: tools/check_doc_links.py [repo_root]   (default: the repo the script
+lives in). Exits 1 and lists every broken link on failure.
+"""
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    # GitHub keeps underscores in anchors ("FM_*" → fm_); only markdown
+    # emphasis/code markers are stripped before punctuation removal.
+    text = re.sub(r"[`*]", "", heading.strip())
+    text = unicodedata.normalize("NFKC", text).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md_file: Path) -> set:
+    return {github_slug(h) for h in HEADING_RE.findall(md_file.read_text(encoding="utf-8"))}
+
+
+def strip_code(text: str) -> str:
+    """Removes fenced code blocks and inline code spans, which are not links
+    (a C++ lambda like [&](size_t i) would otherwise parse as one)."""
+    text = re.sub(r"^```.*?^```", "", text, flags=re.DOTALL | re.MULTILINE)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check(root: Path) -> int:
+    documents = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    broken = []
+    for doc in documents:
+        if not doc.exists():
+            continue
+        for match in LINK_RE.finditer(strip_code(doc.read_text(encoding="utf-8"))):
+            target = match.group(1).strip()
+            titled = re.match(r"^(\S+)\s+\"[^\"]*\"$", target)
+            if titled:
+                target = titled.group(1)
+            if re.search(r"\s", target):
+                # A space in a target is invalid markdown on GitHub; report it
+                # rather than silently skipping an uncheckable link.
+                broken.append(f"{doc.relative_to(root)}: malformed target {target!r}")
+                continue
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("#"):
+                if github_slug(target[1:]) not in heading_slugs(doc):
+                    broken.append(f"{doc.relative_to(root)}: broken anchor {target}")
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{doc.relative_to(root)}: missing target {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if github_slug(fragment) not in heading_slugs(resolved):
+                    broken.append(f"{doc.relative_to(root)}: broken anchor {target}")
+    for problem in broken:
+        print(f"BROKEN LINK  {problem}")
+    checked = ", ".join(str(d.relative_to(root)) for d in documents if d.exists())
+    print(f"checked: {checked} — {len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    repo_root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(repo_root))
