@@ -1,6 +1,12 @@
 // E15: google-benchmark micro-benchmarks for the substrate hot paths —
-// Gram-matrix construction, Cholesky, Jacobi eigendecomposition, Laplace
-// sampling, full FM fits and the Newton logistic solver.
+// Gram-matrix construction, GEMM, Cholesky, Jacobi eigendecomposition,
+// Laplace sampling, full FM fits and the Newton logistic solver.
+//
+// The kernel-layer benchmarks (BM_MatMul, BM_GramMatrix, BM_Cholesky,
+// BM_MatVec, BM_LogisticGradient, BM_ObjectiveAccumulatorBuild) honor the
+// FM_BLOCKED_LINALG environment knob: tools/run_bench.py runs this binary
+// once with the blocked kernels and once with the scalar reference and
+// writes the speedups to BENCH_linalg.json.
 #include <algorithm>
 #include <cmath>
 
@@ -69,7 +75,53 @@ void BM_Cholesky(benchmark::State& state) {
     benchmark::DoNotOptimize(linalg::Cholesky::Compute(spd));
   }
 }
-BENCHMARK(BM_Cholesky)->Arg(4)->Arg(13)->Arg(64);
+BENCHMARK(BM_Cholesky)->Arg(4)->Arg(13)->Arg(64)->Arg(128)->Arg(256);
+
+// Square GEMM — the d²·n / d³ term the fig7–fig9 scalability plots measure.
+// The ≥256² sizes are the CI perf gate: blocked must beat the scalar
+// reference there (tools/run_bench.py --gate).
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto a = RandomMatrix(n, n, 21);
+  const auto b = RandomMatrix(n, n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0) * state.range(0));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_MatVec(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = static_cast<size_t>(state.range(1));
+  const auto a = RandomMatrix(rows, cols, 23);
+  linalg::Vector x(cols);
+  Rng rng(24);
+  for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatVec(a, x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_MatVec)->Args({2048, 64})->Args({10000, 14});
+
+// The fused matvec + weighted-reduction gradient of the exact logistic
+// objective (NoPrivacy/DPME/FP training inner loop).
+void BM_LogisticGradient(benchmark::State& state) {
+  const auto ds = RandomDataset(static_cast<size_t>(state.range(0)),
+                                static_cast<size_t>(state.range(1)), true, 25);
+  const opt::LogisticObjective objective(ds.x, ds.y);
+  linalg::Vector omega(ds.dim());
+  Rng rng(26);
+  for (auto& v : omega) v = rng.Uniform(-0.5, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.Gradient(omega));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogisticGradient)->Args({20000, 14});
 
 void BM_JacobiEigen(benchmark::State& state) {
   const auto spd = RandomSpd(static_cast<size_t>(state.range(0)), 3);
@@ -99,16 +151,17 @@ void BM_BuildLinearObjective(benchmark::State& state) {
 BENCHMARK(BM_BuildLinearObjective)->Arg(10000)->Arg(50000);
 
 // The one-off cost of the fold cache: one compensated pass over all tuples.
+// d=14 is the fig7 default dimensionality (eval::BenchConfig).
 void BM_ObjectiveAccumulatorBuild(benchmark::State& state) {
-  const auto ds =
-      RandomDataset(static_cast<size_t>(state.range(0)), 13, false, 5);
+  const auto ds = RandomDataset(static_cast<size_t>(state.range(0)),
+                                static_cast<size_t>(state.range(1)), false, 5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::ObjectiveAccumulator::Build(
         ds, core::ObjectiveKind::kLinear));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ObjectiveAccumulatorBuild)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_ObjectiveAccumulatorBuild)->Args({10000, 14})->Args({50000, 14});
 
 // The per-fold cost after caching: global-sum-minus-test-slice touches only
 // the held-out n/k tuples. Compare against BM_BuildLinearObjective at the

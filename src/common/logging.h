@@ -60,4 +60,19 @@ class LogMessage {
     }                                                                        \
   } while (false)
 
+/// Debug-only FM_CHECK for hot accessors (Matrix::At, Vector::At, row
+/// views): full bounds checking in Debug and ASan/UBSan builds (where
+/// NDEBUG is unset — the CI Debug and asan jobs), compiled out of Release
+/// hot paths. Cold-path API contracts should keep FM_CHECK. The argument is
+/// never evaluated in Release (`sizeof` keeps it syntactically checked
+/// without generating code).
+#ifdef NDEBUG
+#define FM_DCHECK(condition)             \
+  do {                                   \
+    (void)sizeof((condition) ? 1 : 0);   \
+  } while (false)
+#else
+#define FM_DCHECK(condition) FM_CHECK(condition)
+#endif
+
 #endif  // FM_COMMON_LOGGING_H_

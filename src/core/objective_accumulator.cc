@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "core/taylor.h"
 #include "exec/parallel.h"
+#include "linalg/kernels.h"
 
 namespace fm::core {
 
@@ -35,42 +36,100 @@ ObjectiveKind ObjectiveKindForTask(data::TaskKind task) {
                                          : ObjectiveKind::kTruncatedLogistic;
 }
 
-void ObjectiveAccumulator::AccumulateTuple(size_t row,
-                                           std::vector<double>& sum,
-                                           std::vector<double>& comp) const {
-  const double* x = dataset_->x.Row(row);
-  const double y = dataset_->y[row];
-  const size_t d = dim_;
-
-  double m_scale, alpha_bias, beta_i;
+void ObjectiveAccumulator::TupleParams(double y, double* m_scale,
+                                       double* alpha_bias,
+                                       double* beta) const {
   switch (kind_) {
     case ObjectiveKind::kLinear:
       // (y − xᵀω)² = ωᵀ(x xᵀ)ω − 2y xᵀω + y².
-      m_scale = 1.0;
-      alpha_bias = -2.0 * y;
-      beta_i = y * y;
+      *m_scale = 1.0;
+      *alpha_bias = -2.0 * y;
+      *beta = y * y;
       break;
     case ObjectiveKind::kTruncatedLogistic:
     default:
       // log2 + ½xᵀω + ⅛(xᵀω)² − y·xᵀω  (Equation 10 summed per tuple).
-      m_scale = LogisticF1SecondDerivative0() / 2.0;  // 1/8
-      alpha_bias = LogisticF1Derivative0() - y;       // ½ − y
-      beta_i = LogisticF1Value0();                    // log 2
+      *m_scale = LogisticF1SecondDerivative0() / 2.0;  // 1/8
+      *alpha_bias = LogisticF1Derivative0() - y;       // ½ − y
+      *beta = LogisticF1Value0();                      // log 2
       break;
   }
+}
 
-  size_t idx = 0;
-  for (size_t i = 0; i < d; ++i) {
-    const double xi = m_scale * x[i];
-    for (size_t j = i; j < d; ++j, ++idx) {
-      CompensatedAdd(sum[idx], comp[idx], xi * x[j]);
-    }
+void ObjectiveAccumulator::AccumulateTuple(size_t row,
+                                           std::vector<double>& sum,
+                                           std::vector<double>& comp) const {
+  const double* x = dataset_->x.Row(row);
+  const size_t d = dim_;
+  double m_scale, alpha_bias, beta_i;
+  TupleParams(dataset_->y[row], &m_scale, &alpha_bias, &beta_i);
+
+  // The whole per-tuple contribution — the rank-1 slice of the shard's
+  // rank-k update (M's upper triangle at m_scale, then α at alpha_bias,
+  // then β) — lands through one fused kernel call. Both kernel modes keep
+  // the per-tuple Neumaier compensation and are bit-identical to each
+  // other and to the pre-kernel code, so the ≤1-ulp fold-derivation
+  // guarantee and the thread-count determinism contract are untouched.
+  if (linalg::kernels::BlockedEnabled()) {
+    linalg::kernels::CompensatedTupleUpdate(sum.data(), comp.data(), x, d,
+                                            m_scale, alpha_bias, beta_i);
+  } else {
+    linalg::kernels::RefCompensatedTupleUpdate(sum.data(), comp.data(), x, d,
+                                               m_scale, alpha_bias, beta_i);
   }
-  for (size_t j = 0; j < d; ++j, ++idx) {
-    // kLinear: −2y·x_j; kTruncatedLogistic: (½ − y)·x_j.
-    CompensatedAdd(sum[idx], comp[idx], alpha_bias * x[j]);
+}
+
+void ObjectiveAccumulator::AccumulateBatch(
+    const size_t rows[linalg::kernels::kCompensatedBatch],
+    std::vector<double>& sum, std::vector<double>& comp) const {
+  constexpr size_t kB = linalg::kernels::kCompensatedBatch;
+  const double* xs[kB];
+  double alpha_bias[kB], beta[kB];
+  double m_scale = 0.0;
+  for (size_t r = 0; r < kB; ++r) {
+    FM_CHECK(rows[r] < dataset_->size());
+    xs[r] = dataset_->x.Row(rows[r]);
+    TupleParams(dataset_->y[rows[r]], &m_scale, &alpha_bias[r], &beta[r]);
   }
-  CompensatedAdd(sum[idx], comp[idx], beta_i);
+  if (linalg::kernels::BlockedEnabled()) {
+    linalg::kernels::CompensatedTupleUpdateBatch(
+        sum.data(), comp.data(), xs, dim_, m_scale, alpha_bias, beta);
+  } else {
+    linalg::kernels::RefCompensatedTupleUpdateBatch(
+        sum.data(), comp.data(), xs, dim_, m_scale, alpha_bias, beta);
+  }
+}
+
+void ObjectiveAccumulator::AccumulateRange(size_t begin, size_t end,
+                                           std::vector<double>& sum,
+                                           std::vector<double>& comp) const {
+  // Full batches go through the rank-kCompensatedBatch kernel (amortizing
+  // the coefficient-stream loads); compensation stays per tuple, so batched
+  // and row-at-a-time accumulation — and both kernel modes — are
+  // bit-identical.
+  constexpr size_t kB = linalg::kernels::kCompensatedBatch;
+  size_t row = begin;
+  for (; row + kB <= end; row += kB) {
+    size_t batch[kB];
+    for (size_t r = 0; r < kB; ++r) batch[r] = row + r;
+    AccumulateBatch(batch, sum, comp);
+  }
+  for (; row < end; ++row) AccumulateTuple(row, sum, comp);
+}
+
+void ObjectiveAccumulator::AccumulateList(const std::vector<size_t>& rows,
+                                          std::vector<double>& sum,
+                                          std::vector<double>& comp) const {
+  constexpr size_t kB = linalg::kernels::kCompensatedBatch;
+  size_t i = 0;
+  for (; i + kB <= rows.size(); i += kB) {
+    AccumulateBatch(rows.data() + i, sum, comp);
+  }
+  for (; i < rows.size(); ++i) {
+    const size_t row = rows[i];
+    FM_CHECK(row < dataset_->size());
+    AccumulateTuple(row, sum, comp);
+  }
 }
 
 opt::QuadraticModel ObjectiveAccumulator::Round(
@@ -121,9 +180,7 @@ ObjectiveAccumulator ObjectiveAccumulator::Build(
       [&](size_t s) {
         const size_t begin = s * kShardRows;
         const size_t end = std::min(n, begin + kShardRows);
-        for (size_t row = begin; row < end; ++row) {
-          acc.AccumulateTuple(row, shard_sums[s], shard_comps[s]);
-        }
+        acc.AccumulateRange(begin, end, shard_sums[s], shard_comps[s]);
       },
       pool != nullptr ? *pool : exec::ThreadPool::Global());
 
@@ -145,10 +202,7 @@ opt::QuadraticModel ObjectiveAccumulator::SliceObjective(
   const size_t coefficients = num_coefficients();
   std::vector<double> sum(coefficients, 0.0);
   std::vector<double> comp(coefficients, 0.0);
-  for (size_t row : rows) {
-    FM_CHECK(row < dataset_->size());
-    AccumulateTuple(row, sum, comp);
-  }
+  AccumulateList(rows, sum, comp);
   return Round(sum, comp);
 }
 
@@ -157,10 +211,7 @@ opt::QuadraticModel ObjectiveAccumulator::TrainObjectiveForFold(
   const size_t coefficients = num_coefficients();
   std::vector<double> slice_sum(coefficients, 0.0);
   std::vector<double> slice_comp(coefficients, 0.0);
-  for (size_t row : test_rows) {
-    FM_CHECK(row < dataset_->size());
-    AccumulateTuple(row, slice_sum, slice_comp);
-  }
+  AccumulateList(test_rows, slice_sum, slice_comp);
   // global − slice, with both compensations carried through: the rounded
   // result is within 1 ulp of the exact training-tuple sum, so no
   // catastrophic cancellation can surface (the slice is a strict subset, and

@@ -42,12 +42,17 @@ ObjectiveKind ObjectiveKindForTask(data::TaskKind task);
 /// k-fold repeat that turns (k−1)·n tuple visits into n, and the global pass
 /// itself is shared by all repeats.
 ///
-/// Every coefficient is kept as a Neumaier compensated (sum, error) pair and
-/// the compensation is carried through the subtraction, so the derived
-/// training objective is a faithful rounding of the exact tuple sum (within
-/// 1 ulp per coefficient) — the test fold is only 1/k of the data, so the
-/// subtraction loses at most a factor k/(k−1) of magnitude and the
-/// compensation absorbs what little cancellation occurs.
+/// Every coefficient is kept as a Neumaier compensated (sum, error) pair,
+/// the compensation is applied per tuple, and it is carried through the
+/// subtraction, so the derived training objective is a faithful rounding of
+/// the exact tuple sum (within 1 ulp per coefficient) — the test fold is
+/// only 1/k of the data, so the subtraction loses at most a factor k/(k−1)
+/// of magnitude and the compensation absorbs what little cancellation
+/// occurs. The kernel layer (PR 3) accelerates the accumulation without
+/// touching these semantics: tuples stream through
+/// linalg::kernels::CompensatedTupleUpdate(Batch) in per-shard row order,
+/// and blocked vs scalar-reference mode (FM_BLOCKED_LINALG) never changes a
+/// bit (tests/kernels_test.cc).
 ///
 /// The accumulator keeps a pointer to the dataset it was built from (to read
 /// test-slice tuples); the dataset must outlive it.
@@ -88,9 +93,28 @@ class ObjectiveAccumulator {
   // accumulated and Round mirrors it), then α (d), then β (1).
   size_t num_coefficients() const { return dim_ * (dim_ + 1) / 2 + dim_ + 1; }
 
+  // The per-tuple coefficient weights for label `y` under kind_.
+  void TupleParams(double y, double* m_scale, double* alpha_bias,
+                   double* beta) const;
+
   // Adds tuple `row`'s contribution into the (sum, comp) arrays.
   void AccumulateTuple(size_t row, std::vector<double>& sum,
                        std::vector<double>& comp) const;
+
+  // Adds one full batch of kCompensatedBatch tuples (the shared
+  // batch-assembly + kernel dispatch used by both accumulation orders).
+  void AccumulateBatch(const size_t* rows, std::vector<double>& sum,
+                       std::vector<double>& comp) const;
+
+  // Adds rows [begin, end) in order, batching tuples through the blocked
+  // kernel when enabled (bit-identical to row-at-a-time accumulation).
+  void AccumulateRange(size_t begin, size_t end, std::vector<double>& sum,
+                       std::vector<double>& comp) const;
+
+  // Same for an arbitrary row-index list (fold slices).
+  void AccumulateList(const std::vector<size_t>& rows,
+                      std::vector<double>& sum,
+                      std::vector<double>& comp) const;
 
   // Rounds flat compensated coefficients into a QuadraticModel.
   opt::QuadraticModel Round(const std::vector<double>& sum,

@@ -1,9 +1,11 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "common/logging.h"
+#include "linalg/kernels.h"
 
 namespace fm::linalg {
 
@@ -29,28 +31,26 @@ Matrix Matrix::Diagonal(const Vector& diag) {
   return m;
 }
 
-double Matrix::At(size_t r, size_t c) const {
-  FM_CHECK(r < rows_ && c < cols_);
-  return (*this)(r, c);
-}
-
 Vector Matrix::RowVector(size_t r) const {
-  FM_CHECK(r < rows_);
+  FM_DCHECK(r < rows_);
   Vector v(cols_);
-  for (size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  const auto row = RowSpan(r);
+  std::copy(row.begin(), row.end(), v.data().begin());
   return v;
 }
 
 Vector Matrix::ColVector(size_t c) const {
-  FM_CHECK(c < cols_);
+  FM_DCHECK(c < cols_);
   Vector v(rows_);
-  for (size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  const double* src = data_.data() + c;
+  for (size_t r = 0; r < rows_; ++r) v[r] = src[r * cols_];
   return v;
 }
 
 void Matrix::SetRow(size_t r, const Vector& v) {
-  FM_CHECK(r < rows_ && v.size() == cols_);
-  for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+  FM_DCHECK(r < rows_);
+  FM_CHECK(v.size() == cols_);
+  std::copy(v.begin(), v.end(), RowSpan(r).begin());
 }
 
 void Matrix::Fill(double value) {
@@ -80,9 +80,19 @@ void Matrix::AddToDiagonal(double value) {
 }
 
 Matrix Matrix::Transposed() const {
+  // Cache-blocked tiles: both the read and the write stay within a
+  // 32×32-element working set instead of striding a full row/column per
+  // element. Pure copies, so the result is exact for any tiling.
+  constexpr size_t kTile = 32;
   Matrix t(cols_, rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  for (size_t r0 = 0; r0 < rows_; r0 += kTile) {
+    const size_t r1 = std::min(rows_, r0 + kTile);
+    for (size_t c0 = 0; c0 < cols_; c0 += kTile) {
+      const size_t c1 = std::min(cols_, c0 + kTile);
+      for (size_t r = r0; r < r1; ++r) {
+        for (size_t c = c0; c < c1; ++c) t(c, r) = (*this)(r, c);
+      }
+    }
   }
   return t;
 }
@@ -154,15 +164,17 @@ Matrix operator*(double scalar, Matrix m) {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   FM_CHECK(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order for row-major cache friendliness.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.Row(k);
-      double* orow = out.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-    }
+  // Register-tiled, k-panel-blocked GEMM; the scalar reference follows the
+  // identical summation grouping, so the two modes agree bit for bit (see
+  // linalg/kernels.h).
+  if (kernels::BlockedEnabled()) {
+    kernels::GemmAccumulate(a.data().data(), a.cols(), b.data().data(),
+                            b.cols(), out.data().data(), out.cols(), a.rows(),
+                            a.cols(), b.cols());
+  } else {
+    kernels::RefGemmAccumulate(a.data().data(), a.cols(), b.data().data(),
+                               b.cols(), out.data().data(), out.cols(),
+                               a.rows(), a.cols(), b.cols());
   }
   return out;
 }
@@ -170,11 +182,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Vector MatVec(const Matrix& a, const Vector& x) {
   FM_CHECK(a.cols() == x.size());
   Vector out(a.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.Row(i);
-    double sum = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
-    out[i] = sum;
+  if (kernels::BlockedEnabled()) {
+    kernels::MatVec(a.data().data(), a.cols(), a.rows(), a.cols(), x.raw(),
+                    out.raw());
+  } else {
+    kernels::RefMatVec(a.data().data(), a.cols(), a.rows(), a.cols(), x.raw(),
+                       out.raw());
   }
   return out;
 }
@@ -194,14 +207,14 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
 Matrix Gram(const Matrix& a) {
   const size_t d = a.cols();
   Matrix out(d, d);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.Row(i);
-    for (size_t j = 0; j < d; ++j) {
-      const double xj = row[j];
-      if (xj == 0.0) continue;
-      double* orow = out.Row(j);
-      for (size_t k = j; k < d; ++k) orow[k] += xj * row[k];
-    }
+  // Rank-k symmetric update over kSyrkRowPanel-row panels; only the upper
+  // triangle is computed, then mirrored.
+  if (kernels::BlockedEnabled()) {
+    kernels::SyrkUpperAccumulate(a.data().data(), d, a.rows(), d,
+                                 out.data().data(), d);
+  } else {
+    kernels::RefSyrkUpperAccumulate(a.data().data(), d, a.rows(), d,
+                                    out.data().data(), d);
   }
   out.SymmetrizeFromUpper();
   return out;
@@ -221,10 +234,7 @@ double QuadraticForm(const Matrix& m, const Vector& x) {
   FM_CHECK(m.rows() == x.size() && m.cols() == x.size());
   double sum = 0.0;
   for (size_t i = 0; i < x.size(); ++i) {
-    const double* row = m.Row(i);
-    double inner = 0.0;
-    for (size_t j = 0; j < x.size(); ++j) inner += row[j] * x[j];
-    sum += x[i] * inner;
+    sum += x[i] * kernels::Dot(m.Row(i), x.raw(), x.size());
   }
   return sum;
 }

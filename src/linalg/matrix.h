@@ -6,9 +6,26 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "linalg/vector.h"
 
 namespace fm::linalg {
+
+/// Lightweight contiguous view — a C++17 stand-in for std::span<double>.
+/// Used for zero-copy row access on the kernel hot paths
+/// (src/linalg/kernels.h).
+template <typename T>
+struct Span {
+  T* ptr = nullptr;
+  size_t len = 0;
+
+  T* data() const { return ptr; }
+  size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  T* begin() const { return ptr; }
+  T* end() const { return ptr + len; }
+  T& operator[](size_t i) const { return ptr[i]; }
+};
 
 /// Dense row-major matrix of doubles.
 ///
@@ -47,12 +64,26 @@ class Matrix {
   double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
   double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
 
-  /// Bounds-checked access; aborts when out of range.
-  double At(size_t r, size_t c) const;
+  /// Element access, bounds-checked in Debug/ASan builds (FM_DCHECK); the
+  /// check is compiled out of Release hot paths.
+  double At(size_t r, size_t c) const {
+    FM_DCHECK(r < rows_ && c < cols_);
+    return (*this)(r, c);
+  }
 
   /// Pointer to the start of row `r`.
   const double* Row(size_t r) const { return data_.data() + r * cols_; }
   double* Row(size_t r) { return data_.data() + r * cols_; }
+
+  /// Contiguous zero-copy view of row `r` (the kernel-layer accessor).
+  Span<const double> RowSpan(size_t r) const {
+    FM_DCHECK(r < rows_);
+    return {Row(r), cols_};
+  }
+  Span<double> RowSpan(size_t r) {
+    FM_DCHECK(r < rows_);
+    return {Row(r), cols_};
+  }
 
   /// Copies row `r` into a Vector.
   Vector RowVector(size_t r) const;

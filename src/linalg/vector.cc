@@ -5,13 +5,9 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "linalg/kernels.h"
 
 namespace fm::linalg {
-
-double Vector::At(size_t i) const {
-  FM_CHECK(i < data_.size());
-  return data_[i];
-}
 
 void Vector::Fill(double value) {
   for (auto& x : data_) x = value;
@@ -41,7 +37,7 @@ Vector& Vector::operator/=(double scalar) {
 
 void Vector::Axpy(double scalar, const Vector& other) {
   FM_CHECK(size() == other.size());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scalar * other.data_[i];
+  kernels::Axpy(data_.data(), scalar, other.data_.data(), data_.size());
 }
 
 double Vector::Norm2() const {
@@ -123,9 +119,9 @@ Vector operator-(Vector v) {
 
 double Dot(const Vector& a, const Vector& b) {
   FM_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  // kernels::Dot is a strictly sequential reduction — same bits as the
+  // naive loop in both FM_BLOCKED_LINALG modes.
+  return kernels::Dot(a.raw(), b.raw(), a.size());
 }
 
 Vector Hadamard(const Vector& a, const Vector& b) {

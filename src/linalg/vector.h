@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace fm::linalg {
 
 /// Dense column vector of doubles.
@@ -46,8 +48,12 @@ class Vector {
   double operator[](size_t i) const { return data_[i]; }
   double& operator[](size_t i) { return data_[i]; }
 
-  /// Bounds-checked element access; aborts when out of range.
-  double At(size_t i) const;
+  /// Element access, bounds-checked in Debug/ASan builds (FM_DCHECK); the
+  /// check is compiled out of Release hot paths.
+  double At(size_t i) const {
+    FM_DCHECK(i < data_.size());
+    return data_[i];
+  }
 
   /// Underlying storage.
   const std::vector<double>& data() const { return data_; }

@@ -1,0 +1,338 @@
+// Differential tests for the blocked kernel layer (src/linalg/kernels.h):
+// the blocked GEMM/SYRK/Cholesky/matvec/compensated kernels must match the
+// scalar reference (`FM_BLOCKED_LINALG=0`) bit for bit — not approximately
+// — across ragged sizes (n not a multiple of any block size, 1×1,
+// tall-skinny, d larger than a panel). That exactness is what makes the
+// knob a pure performance switch: figs 4–6 output is byte-identical in
+// both modes. Also re-checks the ObjectiveAccumulator thread-count
+// byte-identity contract with blocking on.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/objective_accumulator.h"
+#include "data/dataset.h"
+#include "exec/thread_pool.h"
+#include "linalg/cholesky.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "opt/logistic_loss.h"
+
+namespace fm {
+namespace {
+
+namespace kernels = linalg::kernels;
+
+// Restores the FM_BLOCKED_LINALG runtime state on scope exit.
+class ScopedBlocked {
+ public:
+  explicit ScopedBlocked(bool enabled) : previous_(kernels::BlockedEnabled()) {
+    kernels::SetBlockedEnabled(enabled);
+  }
+  ~ScopedBlocked() { kernels::SetBlockedEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+linalg::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.Uniform(-1.0, 1.0);
+  return m;
+}
+
+linalg::Vector RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  linalg::Vector v(n);
+  for (auto& x : v) x = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+// Bitwise equality, including the sign of zero (memcmp on the payload).
+::testing::AssertionResult BitEqual(const linalg::Matrix& a,
+                                    const linalg::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  if (a.data().empty()) return ::testing::AssertionSuccess();
+  if (std::memcmp(a.data().data(), b.data().data(),
+                  a.data().size() * sizeof(double)) != 0) {
+    return ::testing::AssertionFailure()
+           << "matrices differ; max abs diff = " << MaxAbsDiff(a, b);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult BitEqual(const linalg::Vector& a,
+                                    const linalg::Vector& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  if (a.empty()) return ::testing::AssertionSuccess();
+  if (std::memcmp(a.raw(), b.raw(), a.size() * sizeof(double)) != 0) {
+    return ::testing::AssertionFailure()
+           << "vectors differ; max abs diff = " << MaxAbsDiff(a, b);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Ragged shapes straddling every block-size constant: 1×1, tiny, just
+// under/over the register tiles (4, 8), the SYRK/Cholesky panels (64, 32),
+// and the GEMM k-panel (256); tall-skinny and short-wide.
+struct GemmShape {
+  size_t n, k, m;
+};
+
+TEST(GemmKernelTest, BlockedMatchesReferenceBitForBit) {
+  const GemmShape shapes[] = {
+      {1, 1, 1},   {2, 3, 2},     {3, 7, 5},    {4, 8, 8},
+      {5, 9, 11},  {17, 64, 33},  {64, 64, 64}, {65, 63, 66},
+      {100, 5, 3}, {3, 300, 129}, {31, 257, 9}, {130, 261, 67},
+  };
+  uint64_t seed = 1;
+  for (const auto& s : shapes) {
+    const auto a = RandomMatrix(s.n, s.k, seed++);
+    const auto b = RandomMatrix(s.k, s.m, seed++);
+    linalg::Matrix ref_out, blk_out;
+    {
+      ScopedBlocked off(false);
+      ref_out = linalg::MatMul(a, b);
+    }
+    {
+      ScopedBlocked on(true);
+      blk_out = linalg::MatMul(a, b);
+    }
+    EXPECT_TRUE(BitEqual(ref_out, blk_out))
+        << "GEMM " << s.n << "x" << s.k << "x" << s.m;
+  }
+}
+
+TEST(GemmKernelTest, MatMulStillCorrectAgainstHandResult) {
+  const linalg::Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const linalg::Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  for (bool blocked : {false, true}) {
+    ScopedBlocked mode(blocked);
+    const auto c = linalg::MatMul(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  }
+}
+
+TEST(SyrkKernelTest, GramBlockedMatchesReferenceBitForBit) {
+  const size_t shapes[][2] = {
+      {1, 1},  {2, 3},    {7, 4},    {63, 5},   {64, 13},  {65, 13},
+      {100, 1}, {129, 17}, {1000, 5}, {40, 100}, {200, 70}, {511, 33},
+  };
+  uint64_t seed = 100;
+  for (const auto& s : shapes) {
+    const auto x = RandomMatrix(s[0], s[1], seed++);
+    linalg::Matrix ref_out, blk_out;
+    {
+      ScopedBlocked off(false);
+      ref_out = linalg::Gram(x);
+    }
+    {
+      ScopedBlocked on(true);
+      blk_out = linalg::Gram(x);
+    }
+    EXPECT_TRUE(BitEqual(ref_out, blk_out))
+        << "Gram rows=" << s[0] << " d=" << s[1];
+    EXPECT_TRUE(blk_out.IsSymmetric(0.0));
+  }
+}
+
+TEST(CholeskyKernelTest, BlockedFactorMatchesReferenceBitForBit) {
+  // Sizes straddling the kCholeskyNb=32 panel: below, at, just above, and
+  // several panels plus a ragged tail.
+  for (size_t n : {1u, 2u, 5u, 31u, 32u, 33u, 64u, 65u, 100u, 150u}) {
+    auto spd = linalg::Gram(RandomMatrix(n + 3, n, 7000 + n));
+    spd.AddToDiagonal(static_cast<double>(n));
+    linalg::Matrix ref_l, blk_l;
+    {
+      ScopedBlocked off(false);
+      auto chol = linalg::Cholesky::Compute(spd);
+      ASSERT_TRUE(chol.ok()) << "n=" << n;
+      ref_l = chol.ValueOrDie().L();
+    }
+    {
+      ScopedBlocked on(true);
+      auto chol = linalg::Cholesky::Compute(spd);
+      ASSERT_TRUE(chol.ok()) << "n=" << n;
+      blk_l = chol.ValueOrDie().L();
+    }
+    EXPECT_TRUE(BitEqual(ref_l, blk_l)) << "Cholesky n=" << n;
+
+    // And the solve built on the factor agrees bitwise too.
+    const auto b = RandomVector(n, 8000 + n);
+    linalg::Vector ref_x, blk_x;
+    {
+      ScopedBlocked off(false);
+      ref_x = linalg::Cholesky::Compute(spd).ValueOrDie().Solve(b);
+    }
+    {
+      ScopedBlocked on(true);
+      blk_x = linalg::Cholesky::Compute(spd).ValueOrDie().Solve(b);
+    }
+    EXPECT_TRUE(BitEqual(ref_x, blk_x)) << "Cholesky solve n=" << n;
+  }
+}
+
+TEST(CholeskyKernelTest, NonPositiveDefiniteFailsIdenticallyInBothModes) {
+  // Bad pivots both inside the first kCholeskyNb=32 diagonal block (column
+  // 20) and past it (column 35, reached only after a trailing update has
+  // run) must fail at the same column in both modes.
+  for (size_t bad : {20u, 35u}) {
+    linalg::Matrix not_pd = linalg::Matrix::Identity(40);
+    not_pd(bad, bad) = -1.0;
+    for (bool blocked : {false, true}) {
+      ScopedBlocked mode(blocked);
+      const auto result = linalg::Cholesky::Compute(not_pd);
+      ASSERT_FALSE(result.ok()) << "blocked=" << blocked << " bad=" << bad;
+      EXPECT_NE(result.status().message().find("column " + std::to_string(bad)),
+                std::string::npos)
+          << result.status().message();
+    }
+  }
+}
+
+TEST(MatVecKernelTest, BlockedMatchesReferenceBitForBit) {
+  const size_t shapes[][2] = {{1, 1},  {3, 5},   {4, 8},    {5, 13},
+                              {63, 7}, {64, 64}, {1000, 3}, {129, 65}};
+  uint64_t seed = 300;
+  for (const auto& s : shapes) {
+    const auto a = RandomMatrix(s[0], s[1], seed++);
+    const auto x = RandomVector(s[1], seed++);
+    linalg::Vector ref_y, blk_y;
+    {
+      ScopedBlocked off(false);
+      ref_y = linalg::MatVec(a, x);
+    }
+    {
+      ScopedBlocked on(true);
+      blk_y = linalg::MatVec(a, x);
+    }
+    EXPECT_TRUE(BitEqual(ref_y, blk_y))
+        << "MatVec " << s[0] << "x" << s[1];
+  }
+}
+
+TEST(LogisticKernelTest, GradientAndValueMatchReferenceBitForBit) {
+  for (size_t n : {1u, 5u, 64u, 257u}) {
+    const size_t d = 9;
+    const auto x = RandomMatrix(n, d, 400 + n);
+    auto y = RandomVector(n, 500 + n);
+    for (auto& v : y) v = v > 0.0 ? 1.0 : 0.0;
+    const auto omega = RandomVector(d, 600 + n);
+    const opt::LogisticObjective objective(x, y, 0.1);
+    double ref_value, blk_value;
+    linalg::Vector ref_grad, blk_grad;
+    {
+      ScopedBlocked off(false);
+      ref_value = objective.Value(omega);
+      ref_grad = objective.Gradient(omega);
+    }
+    {
+      ScopedBlocked on(true);
+      blk_value = objective.Value(omega);
+      blk_grad = objective.Gradient(omega);
+    }
+    EXPECT_EQ(ref_value, blk_value) << "n=" << n;
+    EXPECT_TRUE(BitEqual(ref_grad, blk_grad)) << "n=" << n;
+  }
+}
+
+data::RegressionDataset MakeDataset(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  data::RegressionDataset ds;
+  ds.x = linalg::Matrix(n, d);
+  ds.y = linalg::Vector(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) ds.x(i, j) = rng.Uniform(-scale, scale);
+    ds.y[i] = rng.Uniform(-1.0, 1.0);
+  }
+  return ds;
+}
+
+::testing::AssertionResult ModelsBitEqual(const opt::QuadraticModel& a,
+                                          const opt::QuadraticModel& b) {
+  if (auto m = BitEqual(a.m, b.m); !m) return m;
+  if (auto alpha = BitEqual(a.alpha, b.alpha); !alpha) return alpha;
+  if (std::memcmp(&a.beta, &b.beta, sizeof(double)) != 0) {
+    return ::testing::AssertionFailure() << "beta differs";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(ObjectiveAccumulatorKernelTest, GlobalAndFoldBitIdenticalAcrossModes) {
+  // Sizes crossing the 1024-row shard boundary, both objective kinds.
+  for (const auto kind : {core::ObjectiveKind::kLinear,
+                          core::ObjectiveKind::kTruncatedLogistic}) {
+    for (size_t n : {1u, 100u, 1024u, 1025u, 3000u}) {
+      const auto ds = MakeDataset(n, 7, 900 + n);
+      const bool folds = n >= 5;  // KFoldSplits needs 2 ≤ k ≤ n
+      Rng fold_rng(n);
+      const auto splits = folds ? data::KFoldSplits(ds.size(), 5, fold_rng)
+                                : std::vector<data::Split>{};
+      opt::QuadraticModel ref_global, blk_global, ref_fold, blk_fold;
+      {
+        ScopedBlocked off(false);
+        const auto acc = core::ObjectiveAccumulator::Build(ds, kind);
+        ref_global = acc.Global();
+        if (folds) ref_fold = acc.TrainObjectiveForFold(splits[0].test);
+      }
+      {
+        ScopedBlocked on(true);
+        const auto acc = core::ObjectiveAccumulator::Build(ds, kind);
+        blk_global = acc.Global();
+        if (folds) blk_fold = acc.TrainObjectiveForFold(splits[0].test);
+      }
+      EXPECT_TRUE(ModelsBitEqual(ref_global, blk_global)) << "n=" << n;
+      if (folds) {
+        EXPECT_TRUE(ModelsBitEqual(ref_fold, blk_fold)) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ObjectiveAccumulatorKernelTest, ThreadCountByteIdentityWithBlockingOn) {
+  // PR 2's determinism contract, re-checked with the blocked kernels active:
+  // fixed 1024-row shards + serial shard-order reduction must stay
+  // bit-identical for every pool size.
+  ScopedBlocked on(true);
+  const auto ds = MakeDataset(4200, 6, 424242);
+  exec::ThreadPool serial(1);
+  const auto baseline = core::ObjectiveAccumulator::Build(
+      ds, core::ObjectiveKind::kLinear, &serial);
+  Rng fold_rng(17);
+  const auto splits = data::KFoldSplits(ds.size(), 5, fold_rng);
+  for (size_t threads : {2u, 4u, 8u}) {
+    exec::ThreadPool pool(threads);
+    const auto acc = core::ObjectiveAccumulator::Build(
+        ds, core::ObjectiveKind::kLinear, &pool);
+    EXPECT_TRUE(ModelsBitEqual(acc.Global(), baseline.Global()))
+        << "threads=" << threads;
+    EXPECT_TRUE(ModelsBitEqual(acc.TrainObjectiveForFold(splits[2].test),
+                               baseline.TrainObjectiveForFold(splits[2].test)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(KernelKnobTest, SetBlockedEnabledRoundTrips) {
+  const bool initial = kernels::BlockedEnabled();
+  kernels::SetBlockedEnabled(!initial);
+  EXPECT_EQ(kernels::BlockedEnabled(), !initial);
+  kernels::SetBlockedEnabled(initial);
+  EXPECT_EQ(kernels::BlockedEnabled(), initial);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Blocked-vs-reference kernel benchmark harness.
+
+Runs ``micro_substrates`` twice — once with the blocked kernel layer
+(``FM_BLOCKED_LINALG=1``, the default) and once with the scalar reference
+implementations (``FM_BLOCKED_LINALG=0``) — and writes the per-benchmark
+timings and speedups to ``BENCH_linalg.json``. Both runs execute the same
+binary on the same inputs and, by the kernel layer's bit-identity contract
+(src/linalg/kernels.h), produce the same numerical results; only the time
+differs.
+
+Usage:
+    python3 tools/run_bench.py [--build-dir build] [--out BENCH_linalg.json]
+                               [--smoke] [--gate] [--filter REGEX]
+
+``--smoke`` shortens the per-benchmark measurement time for CI.
+``--gate`` exits non-zero if the blocked kernels are slower than the scalar
+reference on any GEMM of size >= 256 (the CI Release perf gate).
+"""
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+
+DEFAULT_FILTER = (
+    "BM_MatMul|BM_GramMatrix|BM_Cholesky|BM_MatVec|BM_LogisticGradient|"
+    "BM_ObjectiveAccumulatorBuild|BM_TrainObjectiveForFold|"
+    "BM_BuildLinearObjective"
+)
+
+GATE_PATTERN = re.compile(r"^BM_MatMul/(\d+)$")
+GATE_MIN_SIZE = 256
+
+
+def resolve_min_time_arg(binary, min_time):
+    """Google Benchmark >= 1.8 wants a unit suffix on --benchmark_min_time;
+    older versions reject it. Probe with a cheap --benchmark_list_tests
+    invocation so real (expensive) runs execute exactly once and real
+    failures are never masked by a flag-syntax retry."""
+    for candidate in (f"--benchmark_min_time={min_time}",
+                      f"--benchmark_min_time={min_time}s"):
+        proc = subprocess.run(
+            [binary, "--benchmark_list_tests=true", candidate],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        if proc.returncode == 0:
+            return candidate
+    raise SystemExit(
+        f"{binary} rejected --benchmark_min_time in both bare and "
+        "suffixed form")
+
+
+def run_benchmarks(binary, blocked, min_time_arg, args):
+    env = dict(os.environ)
+    env["FM_BLOCKED_LINALG"] = "1" if blocked else "0"
+    # Benchmarks measure single-kernel latency; keep the engine serial so
+    # pool scheduling does not add noise.
+    env.setdefault("FM_THREADS", "1")
+    proc = subprocess.run(
+        [
+            binary,
+            f"--benchmark_filter={args.filter}",
+            "--benchmark_format=json",
+            f"--benchmark_repetitions={args.repetitions}",
+            "--benchmark_report_aggregates_only=true",
+            min_time_arg,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr.decode())
+        raise SystemExit(f"benchmark run failed (blocked={blocked})")
+    return json.loads(proc.stdout.decode())
+
+
+def median_times(report):
+    """name -> cpu_time in ns for the _median aggregate rows."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        name = bench["name"]
+        if not name.endswith("_median"):
+            continue
+        assert bench.get("time_unit", "ns") == "ns", bench
+        out[name[: -len("_median")]] = float(bench["cpu_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_linalg.json")
+    parser.add_argument("--filter", default=DEFAULT_FILTER)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short per-benchmark measurement time (CI)")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--gate", action="store_true",
+                        help="fail if blocked is slower than the reference "
+                             f"on GEMM >= {GATE_MIN_SIZE}^2")
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "micro_substrates")
+    if not os.path.exists(binary):
+        raise SystemExit(
+            f"{binary} not found — build with Google Benchmark installed "
+            "(cmake -B build -S . && cmake --build build -j)")
+
+    min_time_arg = resolve_min_time_arg(binary, "0.05" if args.smoke
+                                        else "0.3")
+    print("running blocked kernels (FM_BLOCKED_LINALG=1)...", flush=True)
+    blocked = median_times(run_benchmarks(binary, True, min_time_arg, args))
+    print("running scalar reference (FM_BLOCKED_LINALG=0)...", flush=True)
+    reference = median_times(
+        run_benchmarks(binary, False, min_time_arg, args))
+
+    results = []
+    for name in sorted(blocked):
+        if name not in reference:
+            continue
+        blk = blocked[name]
+        ref = reference[name]
+        results.append({
+            "name": name,
+            "reference_ns": ref,
+            "blocked_ns": blk,
+            "speedup": ref / blk if blk > 0 else None,
+        })
+
+    report = {
+        "description": "blocked kernel layer (FM_BLOCKED_LINALG=1) vs "
+                       "scalar reference (FM_BLOCKED_LINALG=0); cpu_time "
+                       "medians over repetitions, identical numerical "
+                       "results by the kernel bit-identity contract",
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "processor": platform.processor(),
+        },
+        "smoke": args.smoke,
+        "repetitions": args.repetitions,
+        "results": results,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    name_width = max((len(r["name"]) for r in results), default=4)
+    print(f"\n{'benchmark':<{name_width}}  {'reference':>12}  "
+          f"{'blocked':>12}  {'speedup':>8}")
+    for r in results:
+        print(f"{r['name']:<{name_width}}  {r['reference_ns']:>10.0f}ns  "
+              f"{r['blocked_ns']:>10.0f}ns  {r['speedup']:>7.2f}x")
+    print(f"\nwrote {args.out}")
+
+    if args.gate:
+        failures = []
+        gated = 0
+        for r in results:
+            match = GATE_PATTERN.match(r["name"])
+            if not match or int(match.group(1)) < GATE_MIN_SIZE:
+                continue
+            gated += 1
+            if r["speedup"] is None or r["speedup"] < 1.0:
+                failures.append(r)
+        if gated == 0:
+            raise SystemExit(
+                f"--gate found no GEMM benchmarks >= {GATE_MIN_SIZE}^2")
+        if failures:
+            for r in failures:
+                print(f"GATE FAILURE: {r['name']} blocked is slower than "
+                      f"the scalar reference ({r['speedup']:.2f}x)",
+                      file=sys.stderr)
+            raise SystemExit(1)
+        print(f"gate passed: blocked >= reference on {gated} GEMM "
+              f"benchmark(s) >= {GATE_MIN_SIZE}^2")
+
+
+if __name__ == "__main__":
+    main()
