@@ -1,0 +1,297 @@
+// Serving-layer benchmark: sustained request throughput and
+// ingest-to-fresh-model latency of serve::Service, incremental maintenance
+// vs full retrain-from-scratch.
+//
+// Deliberately self-contained (eval::Stopwatch + median-over-repeats, no
+// Google Benchmark) so these numbers — and the CI gate that incremental
+// retrain never loses to a full rebuild at n ≥ 1e5 — exist on machines
+// without libbenchmark-dev. tools/run_bench.py --mode serve drives it and
+// re-emits BENCH_serve.json as a CI artifact.
+//
+// Usage:
+//   bench_serve [--n 100000] [--dim 10] [--repeats 7] [--ingest 20000]
+//               [--predicts 20000] [--mixed 10000] [--out BENCH_serve.json]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/fm_algorithm.h"
+#include "common/rng.h"
+#include "core/objective_accumulator.h"
+#include "data/dataset.h"
+#include "eval/stopwatch.h"
+#include "exec/thread_pool.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace fm;
+
+data::RegressionDataset RandomDataset(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  data::RegressionDataset ds;
+  ds.x = linalg::Matrix(n, d);
+  ds.y = linalg::Vector(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t i = 0; i < n; ++i) {
+    double z = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      ds.x(i, j) = rng.Uniform(-scale, scale);
+      z += (j % 2 ? -4.0 : 4.0) * ds.x(i, j);
+    }
+    ds.y[i] = std::clamp(0.5 * z + rng.Gaussian(0.0, 0.1), -1.0, 1.0);
+  }
+  return ds;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+// Every benchmark phase must serve every request successfully — a failing
+// request would otherwise be timed on its error path and still count
+// toward the requests/sec the CI gate reads.
+bool AllOk(const std::vector<serve::Response>& responses, const char* phase) {
+  for (const auto& response : responses) {
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "%s request failed: %s\n", phase,
+                   response.status.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Flags {
+  size_t n = 100000;
+  size_t dim = 10;
+  size_t repeats = 7;
+  size_t ingest = 20000;
+  size_t predicts = 20000;
+  size_t mixed = 10000;
+  std::string out = "BENCH_serve.json";
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      flags.n = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--dim") {
+      flags.dim = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--repeats") {
+      flags.repeats = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--ingest") {
+      flags.ingest = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--predicts") {
+      flags.predicts =
+          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--mixed") {
+      flags.mixed = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--out") {
+      flags.out = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  const size_t threads = exec::ThreadPool::DefaultThreadCount();
+  std::printf(
+      "bench_serve: n=%zu dim=%zu repeats=%zu threads=%zu "
+      "(self-contained timer, no Google Benchmark needed)\n",
+      flags.n, flags.dim, flags.repeats, threads);
+
+  serve::ServiceOptions options;
+  options.dim = flags.dim;
+  options.task = data::TaskKind::kLinear;
+  // The bench retrains many times; give it a budget it cannot exhaust (the
+  // numbers measure time, not utility).
+  options.total_epsilon = 1e6;
+  options.seed = 20120827;
+  auto service = serve::Service::Create(options).ValueOrDie();
+
+  // --- bulk bootstrap -----------------------------------------------------
+  const data::RegressionDataset base = RandomDataset(flags.n, flags.dim, 1);
+  eval::Stopwatch watch;
+  if (Status status = service->Bootstrap(base); !status.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const double bootstrap_seconds = watch.Seconds();
+  const double bootstrap_rows_per_sec =
+      static_cast<double>(flags.n) / bootstrap_seconds;
+
+  // --- ingest through the request engine ----------------------------------
+  const data::RegressionDataset stream =
+      RandomDataset(flags.ingest, flags.dim, 2);
+  std::vector<serve::Request> ingest_log;
+  ingest_log.reserve(flags.ingest);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ingest_log.push_back(
+        serve::Request::Insert(stream.x.RowVector(i), stream.y[i]));
+  }
+  watch.Reset();
+  auto ingest_responses = service->ExecuteLog(ingest_log);
+  const double ingest_seconds = watch.Seconds();
+  if (!AllOk(ingest_responses, "ingest")) return 1;
+  const double ingest_rps =
+      static_cast<double>(flags.ingest) / ingest_seconds;
+
+  // Publish a model so predicts have something to read.
+  if (!service
+           ->ExecuteLog({serve::Request::Train(
+               serve::TrainerKind::kFunctionalMechanism, 0.8)})[0]
+           .status.ok()) {
+    std::fprintf(stderr, "initial train failed\n");
+    return 1;
+  }
+
+  // --- predict fan-out ----------------------------------------------------
+  std::vector<serve::Request> predict_log;
+  predict_log.reserve(flags.predicts);
+  for (size_t i = 0; i < flags.predicts; ++i) {
+    predict_log.push_back(
+        serve::Request::Predict(stream.x.RowVector(i % stream.size())));
+  }
+  watch.Reset();
+  auto predict_responses = service->ExecuteLog(predict_log);
+  const double predict_seconds = watch.Seconds();
+  if (!AllOk(predict_responses, "predict")) return 1;
+  const double predict_rps =
+      static_cast<double>(flags.predicts) / predict_seconds;
+
+  // --- mixed workload -----------------------------------------------------
+  // 1 train per 2000 requests, 1 ingest per 8, predicts otherwise — an
+  // HTAP-flavored mix of co-located ingest and analytics.
+  std::vector<serve::Request> mixed_log;
+  mixed_log.reserve(flags.mixed);
+  for (size_t i = 0; i < flags.mixed; ++i) {
+    if (i % 2000 == 1999) {
+      mixed_log.push_back(serve::Request::Train(
+          serve::TrainerKind::kFunctionalMechanism, 0.8));
+    } else if (i % 8 == 0) {
+      const size_t row = i % stream.size();
+      mixed_log.push_back(
+          serve::Request::Insert(stream.x.RowVector(row), stream.y[row]));
+    } else {
+      mixed_log.push_back(
+          serve::Request::Predict(stream.x.RowVector(i % stream.size())));
+    }
+  }
+  watch.Reset();
+  auto mixed_responses = service->ExecuteLog(mixed_log);
+  const double mixed_seconds = watch.Seconds();
+  if (!AllOk(mixed_responses, "mixed")) return 1;
+  const double mixed_rps = static_cast<double>(flags.mixed) / mixed_seconds;
+
+  // --- ingest-to-fresh-model latency: incremental vs full rebuild ---------
+  // Incremental: one insert + one train through the engine — the objective
+  // delta is O(d²) and the derivation O(shards · d²).
+  std::vector<double> incremental_seconds;
+  for (size_t r = 0; r < flags.repeats; ++r) {
+    const size_t row = r % stream.size();
+    std::vector<serve::Request> delta_log;
+    delta_log.push_back(
+        serve::Request::Insert(stream.x.RowVector(row), stream.y[row]));
+    delta_log.push_back(serve::Request::Train(
+        serve::TrainerKind::kFunctionalMechanism, 0.8));
+    watch.Reset();
+    auto delta_responses = service->ExecuteLog(delta_log);
+    incremental_seconds.push_back(watch.Seconds());
+    if (!delta_responses[1].status.ok()) {
+      std::fprintf(stderr, "incremental retrain failed\n");
+      return 1;
+    }
+  }
+
+  // Full rebuild: materialize the live tuples, re-sum the objective from
+  // scratch, train — what a batch system pays for a fresh model.
+  std::vector<double> rebuild_seconds;
+  core::FmOptions fm_options;
+  fm_options.epsilon = 0.8;
+  for (size_t r = 0; r < flags.repeats; ++r) {
+    Rng rng(Rng::Fork(options.seed, 1000000 + r));
+    watch.Reset();
+    const data::RegressionDataset live = service->objective().Materialize();
+    const auto rebuilt = core::ObjectiveAccumulator::Build(
+        live, core::ObjectiveKindForTask(options.task));
+    const auto trained = baselines::FmAlgorithm(fm_options)
+                             .TrainFromObjective(rebuilt.Global(),
+                                                 options.task, rng);
+    rebuild_seconds.push_back(watch.Seconds());
+    if (!trained.ok()) {
+      std::fprintf(stderr, "full rebuild retrain failed\n");
+      return 1;
+    }
+  }
+
+  const double incremental_median = Median(incremental_seconds);
+  const double rebuild_median = Median(rebuild_seconds);
+  const double speedup = rebuild_median / incremental_median;
+  const size_t live = service->objective().live_size();
+
+  std::printf("\n%-34s %14s\n", "metric", "value");
+  std::printf("%-34s %11.0f /s\n", "bootstrap rows", bootstrap_rows_per_sec);
+  std::printf("%-34s %11.0f /s\n", "ingest requests", ingest_rps);
+  std::printf("%-34s %11.0f /s\n", "predict requests", predict_rps);
+  std::printf("%-34s %11.0f /s\n", "mixed requests", mixed_rps);
+  std::printf("%-34s %12.3f ms\n", "ingest->fresh model (incremental)",
+              incremental_median * 1e3);
+  std::printf("%-34s %12.3f ms\n", "ingest->fresh model (full rebuild)",
+              rebuild_median * 1e3);
+  std::printf("%-34s %12.2fx\n", "incremental vs full rebuild", speedup);
+
+  if (!flags.out.empty()) {
+    std::FILE* f = std::fopen(flags.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"description\": \"serve::Service throughput and "
+                 "ingest-to-fresh-model latency; incremental objective "
+                 "maintenance vs full retrain-from-scratch (medians over "
+                 "repeats, self-contained timer)\",\n"
+                 "  \"n\": %zu,\n"
+                 "  \"dim\": %zu,\n"
+                 "  \"live_tuples\": %zu,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"repeats\": %zu,\n"
+                 "  \"bootstrap_rows_per_sec\": %.1f,\n"
+                 "  \"ingest_requests_per_sec\": %.1f,\n"
+                 "  \"predict_requests_per_sec\": %.1f,\n"
+                 "  \"mixed_requests_per_sec\": %.1f,\n"
+                 "  \"incremental_retrain_seconds\": %.9f,\n"
+                 "  \"full_rebuild_seconds\": %.9f,\n"
+                 "  \"incremental_vs_full_speedup\": %.3f\n"
+                 "}\n",
+                 flags.n, flags.dim, live, threads, flags.repeats,
+                 bootstrap_rows_per_sec, ingest_rps, predict_rps, mixed_rps,
+                 incremental_median, rebuild_median, speedup);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", flags.out.c_str());
+  }
+  return 0;
+}

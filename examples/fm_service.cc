@@ -1,0 +1,199 @@
+// Online DP-regression serving walkthrough (docs/SERVING.md): one
+// serve::Service absorbing a mixed ingest + train + predict + delete
+// workload, with the three guarantees the layer makes checked on the spot:
+//
+//   1. Incremental maintenance is honest: after hundreds of inserts and a
+//      delete, the maintained objective — and the model trained from it —
+//      is within 1 ulp per coefficient of a full recompute from the raw
+//      tuples (bitwise, in fact, against the same slot layout; ≤ 1 ulp
+//      against the dense offline accumulator).
+//   2. The privacy ledger balances exactly: spent = Σ committed charges,
+//      total = spent + remaining, and nothing is pending when the log ends.
+//   3. Serving is deterministic: rerunning this binary reproduces every
+//      byte (training randomness comes from the request's log position).
+//
+// Build & run:
+//   cmake -B build -S . && cmake --build build -j --target fm_service
+//   ./build/fm_service
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "baselines/fm_algorithm.h"
+#include "common/rng.h"
+#include "common/ulp.h"
+#include "core/objective_accumulator.h"
+#include "data/census_generator.h"
+#include "data/normalizer.h"
+#include "serve/service.h"
+
+namespace {
+
+using namespace fm;
+
+uint64_t MaxUlpDistance(const opt::QuadraticModel& a,
+                        const opt::QuadraticModel& b) {
+  uint64_t worst = UlpDistance(a.beta, b.beta);
+  for (size_t i = 0; i < a.dim(); ++i) {
+    worst = std::max(worst, UlpDistance(a.alpha[i], b.alpha[i]));
+    for (size_t j = 0; j < a.dim(); ++j) {
+      worst = std::max(worst, UlpDistance(a.m(i, j), b.m(i, j)));
+    }
+  }
+  return worst;
+}
+
+bool Check(bool condition, const char* what) {
+  std::printf("  [%s] %s\n", condition ? "ok" : "FAIL", what);
+  return condition;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Microdata → §3-normalized dataset, exactly as in examples/quickstart.
+  auto table = data::CensusGenerator::Generate(data::CensusGenerator::US(),
+                                               /*rows=*/20000, /*seed=*/1)
+                   .ValueOrDie();
+  data::Normalizer::Options norm_options;
+  norm_options.task = data::TaskKind::kLinear;
+  auto normalizer =
+      data::Normalizer::Fit(table, {"Age", "Education", "WorkHoursPerWeek"},
+                            "AnnualIncome", norm_options)
+          .ValueOrDie();
+  const data::RegressionDataset dataset = normalizer.Apply(table).ValueOrDie();
+
+  // Hold the last 400 tuples back as the live ingest stream.
+  const size_t stream_size = 400;
+  const size_t base_size = dataset.size() - stream_size;
+  std::vector<size_t> base_rows(base_size);
+  std::vector<size_t> stream_rows(stream_size);
+  for (size_t i = 0; i < base_size; ++i) base_rows[i] = i;
+  for (size_t i = 0; i < stream_size; ++i) stream_rows[i] = base_size + i;
+  const data::RegressionDataset base = dataset.Select(base_rows);
+  const data::RegressionDataset stream = dataset.Select(stream_rows);
+
+  // 2. Stand the service up and bulk-load the offline snapshot.
+  serve::ServiceOptions options;
+  options.dim = dataset.dim();
+  options.task = data::TaskKind::kLinear;
+  options.total_epsilon = 4.0;
+  options.seed = 20120827;
+  auto service = serve::Service::Create(options).ValueOrDie();
+  if (!service->Bootstrap(base).ok()) return 1;
+  std::printf("bootstrapped %zu tuples (d = %zu), budget ε = %.2f\n",
+              service->objective().live_size(), dataset.dim(),
+              options.total_epsilon);
+
+  // 3. A mixed request log: N inserts, a private train, a predict fan-out,
+  //    one delete, a second private train, one online evaluation.
+  std::vector<serve::Request> log;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    log.push_back(serve::Request::Insert(stream.x.RowVector(i), stream.y[i]));
+  }
+  log.push_back(
+      serve::Request::Train(serve::TrainerKind::kFunctionalMechanism, 0.8));
+  for (size_t i = 0; i < 100; ++i) {
+    log.push_back(serve::Request::Predict(stream.x.RowVector(i)));
+  }
+  const uint64_t doomed_slot = 123;  // one of the bootstrapped tuples
+  log.push_back(serve::Request::Delete(doomed_slot));
+  const uint64_t retrain_position = service->log_position() + log.size();
+  log.push_back(
+      serve::Request::Train(serve::TrainerKind::kFunctionalMechanism, 0.8));
+  log.push_back(serve::Request::Evaluate());
+
+  const std::vector<serve::Response> responses = service->ExecuteLog(log);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].status.ok()) {
+      std::printf("request %zu failed: %s\n", i,
+                  responses[i].status.ToString().c_str());
+      return 1;
+    }
+  }
+  const serve::Response& train1 = responses[stream.size()];
+  const serve::Response& retrain = responses[log.size() - 2];
+  const serve::Response& evaluation = responses.back();
+  std::printf(
+      "served %zu requests: %zu inserts, 1 delete, 2 private trains "
+      "(versions %llu, %llu), 100 predicts, 1 evaluate\n",
+      log.size(), stream.size(),
+      static_cast<unsigned long long>(train1.model_version),
+      static_cast<unsigned long long>(retrain.model_version));
+  std::printf("online evaluation: MSE %.6f over %zu live tuples (model v%llu)\n",
+              evaluation.value, service->objective().live_size(),
+              static_cast<unsigned long long>(evaluation.model_version));
+
+  bool ok = true;
+
+  // 4. Incremental vs from-scratch. The scratch side recomputes every
+  //    coefficient from the raw tuples and reruns the mechanism on the same
+  //    log-position noise substream the service used.
+  std::printf("\nincremental maintenance vs full recompute:\n");
+  const serve::IncrementalObjective scratch =
+      service->objective().RebuildFromScratch();
+  const opt::QuadraticModel maintained = service->objective().Objective();
+  const uint64_t objective_ulp =
+      MaxUlpDistance(maintained, scratch.Objective());
+  std::printf("    objective vs scratch rebuild  : %llu ulp\n",
+              static_cast<unsigned long long>(objective_ulp));
+  ok &= Check(objective_ulp == 0,
+              "maintained objective == from-scratch recompute (bitwise)");
+
+  const auto dense = core::ObjectiveAccumulator::Build(
+      service->objective().Materialize(),
+      core::ObjectiveKindForTask(options.task));
+  const uint64_t dense_ulp = MaxUlpDistance(maintained, dense.Global());
+  std::printf("    objective vs dense offline acc: %llu ulp\n",
+              static_cast<unsigned long long>(dense_ulp));
+  ok &= Check(dense_ulp <= 1,
+              "maintained objective within 1 ulp of the dense offline build");
+
+  core::FmOptions fm_options;
+  fm_options.epsilon = 0.8;
+  fm_options.post_processing = options.post_processing;
+  Rng scratch_rng(Rng::Fork(options.seed, retrain_position));
+  const auto scratch_model =
+      baselines::FmAlgorithm(fm_options)
+          .TrainFromObjective(scratch.Objective(), options.task, scratch_rng)
+          .ValueOrDie();
+  const auto served_model = service->registry().Latest();
+  uint64_t model_ulp = 0;
+  for (size_t j = 0; j < served_model->omega.size(); ++j) {
+    model_ulp = std::max(
+        model_ulp, UlpDistance(served_model->omega[j], scratch_model.omega[j]));
+  }
+  std::printf("    served model vs scratch model : %llu ulp\n",
+              static_cast<unsigned long long>(model_ulp));
+  ok &= Check(model_ulp <= 1,
+              "served model within 1 ulp of scratch-trained model");
+
+  // 5. The ledger balances exactly.
+  std::printf("\nprivacy ledger:\n");
+  const serve::BudgetAccountant& accountant = service->accountant();
+  double charged = 0.0;
+  for (const auto& charge : accountant.charges()) {
+    std::printf("    %-10s ε = %.3f\n", charge.label.c_str(), charge.epsilon);
+    charged += charge.epsilon;
+  }
+  std::printf("    spent %.3f + remaining %.3f = total %.3f\n",
+              accountant.spent_epsilon(), accountant.remaining_epsilon(),
+              accountant.total_epsilon());
+  ok &= Check(accountant.spent_epsilon() == charged,
+              "spent equals the sum of committed charges");
+  ok &= Check(accountant.spent_epsilon() ==
+                  train1.epsilon_spent + retrain.epsilon_spent,
+              "every committed charge came from a successful train");
+  ok &= Check(accountant.spent_epsilon() + accountant.remaining_epsilon() ==
+                  accountant.total_epsilon(),
+              "spent + remaining == total (nothing leaked)");
+  ok &= Check(accountant.pending_reservations() == 0,
+              "no reservation left pending");
+
+  std::printf("\n%s\n", ok ? "all serving-layer checks passed"
+                           : "SERVING-LAYER CHECK FAILED");
+  return ok ? 0 : 1;
+}

@@ -4,12 +4,14 @@
 
 #include "baselines/histogram_grid.h"
 #include "baselines/no_privacy.h"
+#include "dp/budget.h"
 #include "dp/laplace_mechanism.h"
 
 namespace fm::baselines {
 
 Result<TrainedModel> Dpme::Train(const data::RegressionDataset& train,
                                  data::TaskKind task, Rng& rng) const {
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(options_.epsilon));
   if (train.size() == 0) {
     return Status::FailedPrecondition("cannot train on an empty dataset");
   }

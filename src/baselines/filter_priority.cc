@@ -4,6 +4,7 @@
 
 #include "baselines/histogram_grid.h"
 #include "baselines/no_privacy.h"
+#include "dp/budget.h"
 #include "dp/laplace_mechanism.h"
 
 namespace fm::baselines {
@@ -11,6 +12,7 @@ namespace fm::baselines {
 Result<TrainedModel> FilterPriority::Train(
     const data::RegressionDataset& train, data::TaskKind task,
     Rng& rng) const {
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(options_.epsilon));
   if (train.size() == 0) {
     return Status::FailedPrecondition("cannot train on an empty dataset");
   }

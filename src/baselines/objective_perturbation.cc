@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dp/budget.h"
 #include "linalg/cholesky.h"
 #include "opt/logistic_loss.h"
 
@@ -19,9 +20,7 @@ Result<TrainedModel> ObjectivePerturbation::Train(
   if (train.size() == 0) {
     return Status::FailedPrecondition("cannot train on an empty dataset");
   }
-  if (!(options_.epsilon > 0.0)) {
-    return Status::InvalidArgument("epsilon must be positive");
-  }
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(options_.epsilon));
   const double n = static_cast<double>(train.size());
   const size_t d = train.dim();
   constexpr double kLossSmoothness = 0.25;  // |ℓ″| for the logistic loss

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dp/budget.h"
 #include "opt/logistic_loss.h"
 
 namespace fm::baselines {
@@ -16,8 +17,9 @@ Result<TrainedModel> OutputPerturbation::Train(
   if (train.size() == 0) {
     return Status::FailedPrecondition("cannot train on an empty dataset");
   }
-  if (!(options_.epsilon > 0.0) || !(options_.lambda > 0.0)) {
-    return Status::InvalidArgument("epsilon and lambda must be positive");
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(options_.epsilon));
+  if (!(options_.lambda > 0.0) || !std::isfinite(options_.lambda)) {
+    return Status::InvalidArgument("lambda must be finite and positive");
   }
   const double n = static_cast<double>(train.size());
   const size_t d = train.dim();

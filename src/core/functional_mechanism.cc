@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "dp/budget.h"
 #include "dp/laplace_mechanism.h"
 #include "linalg/eigen_sym.h"
 
@@ -81,9 +82,7 @@ Result<linalg::Vector> FunctionalMechanism::SpectralTrimMinimize(
 Result<FmFitReport> FunctionalMechanism::FitQuadratic(
     const opt::QuadraticModel& objective, double delta,
     const FmOptions& options, Rng& rng) {
-  if (!(options.epsilon > 0.0) || !std::isfinite(options.epsilon)) {
-    return Status::InvalidArgument("epsilon must be finite and positive");
-  }
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(options.epsilon));
   if (!(delta > 0.0) || !std::isfinite(delta)) {
     return Status::InvalidArgument("delta must be finite and positive");
   }

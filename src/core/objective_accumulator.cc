@@ -10,36 +10,14 @@
 
 namespace fm::core {
 
-namespace {
-
-// Rows per parallel shard. Fixed (never derived from the thread count), so
-// the shard partial sums — and therefore the serially-reduced total — are
-// bit-identical for every pool size.
-constexpr size_t kShardRows = 1024;
-
-// Neumaier's variant of Kahan summation: sum += v with the rounding error
-// banked in comp. Unlike plain Kahan it stays exact when |v| > |sum|.
-inline void CompensatedAdd(double& sum, double& comp, double v) {
-  const double t = sum + v;
-  if (std::fabs(sum) >= std::fabs(v)) {
-    comp += (sum - t) + v;
-  } else {
-    comp += (v - t) + sum;
-  }
-  sum = t;
-}
-
-}  // namespace
-
 ObjectiveKind ObjectiveKindForTask(data::TaskKind task) {
   return task == data::TaskKind::kLinear ? ObjectiveKind::kLinear
                                          : ObjectiveKind::kTruncatedLogistic;
 }
 
-void ObjectiveAccumulator::TupleParams(double y, double* m_scale,
-                                       double* alpha_bias,
-                                       double* beta) const {
-  switch (kind_) {
+void ObjectiveTupleParams(ObjectiveKind kind, double y, double* m_scale,
+                          double* alpha_bias, double* beta) {
+  switch (kind) {
     case ObjectiveKind::kLinear:
       // (y − xᵀω)² = ωᵀ(x xᵀ)ω − 2y xᵀω + y².
       *m_scale = 1.0;
@@ -56,27 +34,72 @@ void ObjectiveAccumulator::TupleParams(double y, double* m_scale,
   }
 }
 
-void ObjectiveAccumulator::AccumulateTuple(size_t row,
-                                           std::vector<double>& sum,
-                                           std::vector<double>& comp) const {
-  const double* x = dataset_->x.Row(row);
-  const size_t d = dim_;
-  double m_scale, alpha_bias, beta_i;
-  TupleParams(dataset_->y[row], &m_scale, &alpha_bias, &beta_i);
-
-  // The whole per-tuple contribution — the rank-1 slice of the shard's
+void AccumulateTupleContribution(ObjectiveKind kind, const double* x,
+                                 size_t dim, double y, double* sum,
+                                 double* comp) {
+  double m_scale, alpha_bias, beta;
+  ObjectiveTupleParams(kind, y, &m_scale, &alpha_bias, &beta);
+  // The whole per-tuple contribution — the rank-1 slice of a shard's
   // rank-k update (M's upper triangle at m_scale, then α at alpha_bias,
   // then β) — lands through one fused kernel call. Both kernel modes keep
   // the per-tuple Neumaier compensation and are bit-identical to each
   // other and to the pre-kernel code, so the ≤1-ulp fold-derivation
   // guarantee and the thread-count determinism contract are untouched.
   if (linalg::kernels::BlockedEnabled()) {
-    linalg::kernels::CompensatedTupleUpdate(sum.data(), comp.data(), x, d,
-                                            m_scale, alpha_bias, beta_i);
+    linalg::kernels::CompensatedTupleUpdate(sum, comp, x, dim, m_scale,
+                                            alpha_bias, beta);
   } else {
-    linalg::kernels::RefCompensatedTupleUpdate(sum.data(), comp.data(), x, d,
-                                               m_scale, alpha_bias, beta_i);
+    linalg::kernels::RefCompensatedTupleUpdate(sum, comp, x, dim, m_scale,
+                                               alpha_bias, beta);
   }
+}
+
+void AccumulateTupleContributionBatch(ObjectiveKind kind,
+                                      const double* const* xs, size_t dim,
+                                      const double* ys, double* sum,
+                                      double* comp) {
+  constexpr size_t kB = linalg::kernels::kCompensatedBatch;
+  const double* batch_xs[kB];
+  double alpha_bias[kB], beta[kB];
+  double m_scale = 0.0;
+  for (size_t r = 0; r < kB; ++r) {
+    batch_xs[r] = xs[r];
+    ObjectiveTupleParams(kind, ys[r], &m_scale, &alpha_bias[r], &beta[r]);
+  }
+  if (linalg::kernels::BlockedEnabled()) {
+    linalg::kernels::CompensatedTupleUpdateBatch(sum, comp, batch_xs, dim,
+                                                 m_scale, alpha_bias, beta);
+  } else {
+    linalg::kernels::RefCompensatedTupleUpdateBatch(sum, comp, batch_xs, dim,
+                                                    m_scale, alpha_bias, beta);
+  }
+}
+
+opt::QuadraticModel RoundObjectiveCoefficients(size_t dim, const double* sum,
+                                               const double* comp) {
+  opt::QuadraticModel model;
+  model.m = linalg::Matrix(dim, dim);
+  model.alpha = linalg::Vector(dim);
+  size_t idx = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = i; j < dim; ++j, ++idx) {
+      const double value = sum[idx] + comp[idx];
+      model.m(i, j) = value;
+      model.m(j, i) = value;
+    }
+  }
+  for (size_t j = 0; j < dim; ++j, ++idx) {
+    model.alpha[j] = sum[idx] + comp[idx];
+  }
+  model.beta = sum[idx] + comp[idx];
+  return model;
+}
+
+void ObjectiveAccumulator::AccumulateTuple(size_t row,
+                                           std::vector<double>& sum,
+                                           std::vector<double>& comp) const {
+  AccumulateTupleContribution(kind_, dataset_->x.Row(row), dim_,
+                              dataset_->y[row], sum.data(), comp.data());
 }
 
 void ObjectiveAccumulator::AccumulateBatch(
@@ -84,20 +107,14 @@ void ObjectiveAccumulator::AccumulateBatch(
     std::vector<double>& sum, std::vector<double>& comp) const {
   constexpr size_t kB = linalg::kernels::kCompensatedBatch;
   const double* xs[kB];
-  double alpha_bias[kB], beta[kB];
-  double m_scale = 0.0;
+  double ys[kB];
   for (size_t r = 0; r < kB; ++r) {
     FM_CHECK(rows[r] < dataset_->size());
     xs[r] = dataset_->x.Row(rows[r]);
-    TupleParams(dataset_->y[rows[r]], &m_scale, &alpha_bias[r], &beta[r]);
+    ys[r] = dataset_->y[rows[r]];
   }
-  if (linalg::kernels::BlockedEnabled()) {
-    linalg::kernels::CompensatedTupleUpdateBatch(
-        sum.data(), comp.data(), xs, dim_, m_scale, alpha_bias, beta);
-  } else {
-    linalg::kernels::RefCompensatedTupleUpdateBatch(
-        sum.data(), comp.data(), xs, dim_, m_scale, alpha_bias, beta);
-  }
+  AccumulateTupleContributionBatch(kind_, xs, dim_, ys, sum.data(),
+                                   comp.data());
 }
 
 void ObjectiveAccumulator::AccumulateRange(size_t begin, size_t end,
@@ -132,27 +149,6 @@ void ObjectiveAccumulator::AccumulateList(const std::vector<size_t>& rows,
   }
 }
 
-opt::QuadraticModel ObjectiveAccumulator::Round(
-    const std::vector<double>& sum, const std::vector<double>& comp) const {
-  const size_t d = dim_;
-  opt::QuadraticModel model;
-  model.m = linalg::Matrix(d, d);
-  model.alpha = linalg::Vector(d);
-  size_t idx = 0;
-  for (size_t i = 0; i < d; ++i) {
-    for (size_t j = i; j < d; ++j, ++idx) {
-      const double value = sum[idx] + comp[idx];
-      model.m(i, j) = value;
-      model.m(j, i) = value;
-    }
-  }
-  for (size_t j = 0; j < d; ++j, ++idx) {
-    model.alpha[j] = sum[idx] + comp[idx];
-  }
-  model.beta = sum[idx] + comp[idx];
-  return model;
-}
-
 ObjectiveAccumulator ObjectiveAccumulator::Build(
     const data::RegressionDataset& dataset, ObjectiveKind kind,
     exec::ThreadPool* pool) {
@@ -170,7 +166,7 @@ ObjectiveAccumulator ObjectiveAccumulator::Build(
   // One compensated partial sum per fixed-size shard, filled in parallel;
   // shard boundaries depend only on n, so any thread count produces the same
   // partials and the serial in-order reduction the same total.
-  const size_t num_shards = (n + kShardRows - 1) / kShardRows;
+  const size_t num_shards = (n + kObjectiveShardRows - 1) / kObjectiveShardRows;
   std::vector<std::vector<double>> shard_sums(
       num_shards, std::vector<double>(coefficients, 0.0));
   std::vector<std::vector<double>> shard_comps(
@@ -178,8 +174,8 @@ ObjectiveAccumulator ObjectiveAccumulator::Build(
   exec::ParallelFor(
       num_shards,
       [&](size_t s) {
-        const size_t begin = s * kShardRows;
-        const size_t end = std::min(n, begin + kShardRows);
+        const size_t begin = s * kObjectiveShardRows;
+        const size_t end = std::min(n, begin + kObjectiveShardRows);
         acc.AccumulateRange(begin, end, shard_sums[s], shard_comps[s]);
       },
       pool != nullptr ? *pool : exec::ThreadPool::Global());
@@ -194,7 +190,7 @@ ObjectiveAccumulator ObjectiveAccumulator::Build(
 }
 
 opt::QuadraticModel ObjectiveAccumulator::Global() const {
-  return Round(sum_, comp_);
+  return RoundObjectiveCoefficients(dim_, sum_.data(), comp_.data());
 }
 
 opt::QuadraticModel ObjectiveAccumulator::SliceObjective(
@@ -203,7 +199,7 @@ opt::QuadraticModel ObjectiveAccumulator::SliceObjective(
   std::vector<double> sum(coefficients, 0.0);
   std::vector<double> comp(coefficients, 0.0);
   AccumulateList(rows, sum, comp);
-  return Round(sum, comp);
+  return RoundObjectiveCoefficients(dim_, sum.data(), comp.data());
 }
 
 opt::QuadraticModel ObjectiveAccumulator::TrainObjectiveForFold(
@@ -223,7 +219,7 @@ opt::QuadraticModel ObjectiveAccumulator::TrainObjectiveForFold(
     comp[idx] = comp_[idx] - slice_comp[idx];
     CompensatedAdd(sum[idx], comp[idx], -slice_sum[idx]);
   }
-  return Round(sum, comp);
+  return RoundObjectiveCoefficients(dim_, sum.data(), comp.data());
 }
 
 }  // namespace fm::core

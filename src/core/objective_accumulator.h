@@ -1,6 +1,7 @@
 #ifndef FM_CORE_OBJECTIVE_ACCUMULATOR_H_
 #define FM_CORE_OBJECTIVE_ACCUMULATOR_H_
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -26,6 +27,69 @@ enum class ObjectiveKind {
 
 /// The objective kind that the §7 evaluation uses for `task`.
 ObjectiveKind ObjectiveKindForTask(data::TaskKind task);
+
+// ---------------------------------------------------------------------------
+// Shared compensated-accumulation primitives.
+//
+// Both the offline ObjectiveAccumulator below and the online
+// serve::IncrementalObjective maintain the same state: flat arrays of
+// Neumaier-compensated (sum, comp) coefficient pairs — the M upper triangle
+// in row-major order (d(d+1)/2 entries), then α (d), then β (1) — summed
+// over per-tuple contributions in a fixed order. These free functions are
+// that one shared specification; any two accumulations of the same tuples
+// in the same order produce the same bits regardless of which layer ran
+// them (and regardless of FM_BLOCKED_LINALG — the kernels are
+// bit-identical across modes by the PR 3 contract).
+// ---------------------------------------------------------------------------
+
+/// Rows per parallel/incremental shard. Fixed (never derived from the thread
+/// count), so shard partial sums — and the serially-reduced totals built
+/// from them — are bit-identical for every pool size.
+inline constexpr size_t kObjectiveShardRows = 1024;
+
+/// Number of flat compensated coefficients for dimensionality `dim`:
+/// the M upper triangle, then α, then β.
+inline constexpr size_t NumObjectiveCoefficients(size_t dim) {
+  return dim * (dim + 1) / 2 + dim + 1;
+}
+
+/// Neumaier's variant of Kahan summation: sum += v with the rounding error
+/// banked in comp. Unlike plain Kahan it stays exact when |v| > |sum|.
+inline void CompensatedAdd(double& sum, double& comp, double v) {
+  const double t = sum + v;
+  if (std::fabs(sum) >= std::fabs(v)) {
+    comp += (sum - t) + v;
+  } else {
+    comp += (v - t) + sum;
+  }
+  sum = t;
+}
+
+/// The per-tuple coefficient weights of `kind` for label `y`: tuple x
+/// contributes m_scale · x xᵀ to M, alpha_bias · x to α, and beta to β.
+void ObjectiveTupleParams(ObjectiveKind kind, double y, double* m_scale,
+                          double* alpha_bias, double* beta);
+
+/// Adds one tuple's contribution into the flat (sum, comp) arrays (size
+/// NumObjectiveCoefficients(dim)), compensation applied per tuple, through
+/// the kernel layer (blocked or scalar-reference per FM_BLOCKED_LINALG —
+/// bit-identical either way).
+void AccumulateTupleContribution(ObjectiveKind kind, const double* x,
+                                 size_t dim, double y, double* sum,
+                                 double* comp);
+
+/// Adds linalg::kernels::kCompensatedBatch tuples' contributions in one
+/// fused sweep. Bit-identical to the equivalent sequence of
+/// AccumulateTupleContribution calls in the same order.
+void AccumulateTupleContributionBatch(ObjectiveKind kind,
+                                      const double* const* xs, size_t dim,
+                                      const double* ys, double* sum,
+                                      double* comp);
+
+/// Rounds flat compensated coefficients into a QuadraticModel (M mirrored
+/// from its accumulated upper triangle).
+opt::QuadraticModel RoundObjectiveCoefficients(size_t dim, const double* sum,
+                                               const double* comp);
 
 /// Fold-decomposable objective cache — the algorithmic core of the k-fold
 /// speedup. Both regression objectives are plain sums of per-tuple quadratic
@@ -88,14 +152,8 @@ class ObjectiveAccumulator {
  private:
   ObjectiveAccumulator() = default;
 
-  // Flat compensated coefficient layout: the M upper triangle in row-major
-  // order (d(d+1)/2 entries — M stays symmetric, so only one triangle is
-  // accumulated and Round mirrors it), then α (d), then β (1).
-  size_t num_coefficients() const { return dim_ * (dim_ + 1) / 2 + dim_ + 1; }
-
-  // The per-tuple coefficient weights for label `y` under kind_.
-  void TupleParams(double y, double* m_scale, double* alpha_bias,
-                   double* beta) const;
+  // Flat compensated coefficient layout — see the shared primitives above.
+  size_t num_coefficients() const { return NumObjectiveCoefficients(dim_); }
 
   // Adds tuple `row`'s contribution into the (sum, comp) arrays.
   void AccumulateTuple(size_t row, std::vector<double>& sum,
@@ -115,10 +173,6 @@ class ObjectiveAccumulator {
   void AccumulateList(const std::vector<size_t>& rows,
                       std::vector<double>& sum,
                       std::vector<double>& comp) const;
-
-  // Rounds flat compensated coefficients into a QuadraticModel.
-  opt::QuadraticModel Round(const std::vector<double>& sum,
-                            const std::vector<double>& comp) const;
 
   const data::RegressionDataset* dataset_ = nullptr;
   ObjectiveKind kind_ = ObjectiveKind::kLinear;

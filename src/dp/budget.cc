@@ -6,15 +6,21 @@
 
 namespace fm::dp {
 
+Status ValidateEpsilon(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and positive, got " +
+                                   std::to_string(epsilon));
+  }
+  return Status::OK();
+}
+
 PrivacyAccountant::PrivacyAccountant(double total_epsilon)
     : total_epsilon_(total_epsilon) {
   FM_CHECK(total_epsilon > 0.0 && std::isfinite(total_epsilon));
 }
 
 Status PrivacyAccountant::Charge(double epsilon, const std::string& label) {
-  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::InvalidArgument("charge must be finite and positive");
-  }
+  FM_RETURN_NOT_OK(ValidateEpsilon(epsilon));
   // Tolerate round-off when exhausting the budget exactly.
   if (epsilon > remaining_epsilon() + 1e-12) {
     return Status::FailedPrecondition(

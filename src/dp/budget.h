@@ -8,6 +8,14 @@
 
 namespace fm::dp {
 
+/// The one definition of a usable privacy budget: finite and strictly
+/// positive. Every entry point that accepts an ε — the mechanisms, the
+/// baseline trainers, the accountants, the serving layer — rejects anything
+/// else with this InvalidArgument, so a bad budget fails identically
+/// everywhere instead of flowing into a Laplace scale of ∞ or a negative
+/// ledger charge.
+Status ValidateEpsilon(double epsilon);
+
 /// Sequential-composition privacy accountant.
 ///
 /// ε-differential privacy composes additively: running mechanisms with

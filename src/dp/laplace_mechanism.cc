@@ -3,14 +3,13 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "dp/budget.h"
 
 namespace fm::dp {
 
 Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
                                                   double l1_sensitivity) {
-  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::InvalidArgument("epsilon must be finite and positive");
-  }
+  FM_RETURN_NOT_OK(ValidateEpsilon(epsilon));
   if (!(l1_sensitivity > 0.0) || !std::isfinite(l1_sensitivity)) {
     return Status::InvalidArgument("sensitivity must be finite and positive");
   }

@@ -1,0 +1,104 @@
+#include "serve/budget_accountant.h"
+
+#include <cmath>
+
+#include "dp/budget.h"
+
+namespace fm::serve {
+
+namespace {
+
+// Tolerates round-off when exhausting the budget or a reservation exactly
+// (matches dp::PrivacyAccountant's slack).
+constexpr double kSlack = 1e-12;
+
+}  // namespace
+
+Result<std::unique_ptr<BudgetAccountant>> BudgetAccountant::Create(
+    double total_epsilon) {
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(total_epsilon));
+  return std::unique_ptr<BudgetAccountant>(
+      new BudgetAccountant(total_epsilon));
+}
+
+Result<uint64_t> BudgetAccountant::Reserve(double epsilon,
+                                           const std::string& label) {
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(epsilon));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double remaining = total_epsilon_ - spent_epsilon_ - reserved_epsilon_;
+  if (epsilon > remaining + kSlack) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted: requested " + std::to_string(epsilon) +
+        ", remaining " + std::to_string(remaining) + " (" + label + ")");
+  }
+  const uint64_t id = next_reservation_++;
+  reserved_epsilon_ += epsilon;
+  pending_.emplace(id, Pending{epsilon, label});
+  return id;
+}
+
+Status BudgetAccountant::Commit(uint64_t reservation, double actual_epsilon) {
+  FM_RETURN_NOT_OK(dp::ValidateEpsilon(actual_epsilon));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pending_.find(reservation);
+  if (it == pending_.end()) {
+    return Status::NotFound("unknown or already-settled reservation " +
+                            std::to_string(reservation));
+  }
+  if (actual_epsilon > it->second.epsilon + kSlack) {
+    return Status::InvalidArgument(
+        "commit of " + std::to_string(actual_epsilon) +
+        " exceeds the reserved " + std::to_string(it->second.epsilon) + " (" +
+        it->second.label + ")");
+  }
+  reserved_epsilon_ -= it->second.epsilon;
+  spent_epsilon_ += actual_epsilon;
+  charges_.push_back(ChargeRecord{actual_epsilon, it->second.label});
+  pending_.erase(it);
+  return Status::OK();
+}
+
+Status BudgetAccountant::Abort(uint64_t reservation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pending_.find(reservation);
+  if (it == pending_.end()) {
+    return Status::NotFound("unknown or already-settled reservation " +
+                            std::to_string(reservation));
+  }
+  reserved_epsilon_ -= it->second.epsilon;
+  pending_.erase(it);
+  return Status::OK();
+}
+
+double BudgetAccountant::total_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_epsilon_;
+}
+
+double BudgetAccountant::spent_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spent_epsilon_;
+}
+
+double BudgetAccountant::reserved_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reserved_epsilon_;
+}
+
+double BudgetAccountant::remaining_epsilon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_epsilon_ - spent_epsilon_ - reserved_epsilon_;
+}
+
+std::vector<BudgetAccountant::ChargeRecord> BudgetAccountant::charges()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return charges_;
+}
+
+size_t BudgetAccountant::pending_reservations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace fm::serve

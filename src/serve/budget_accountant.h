@@ -1,0 +1,107 @@
+#ifndef FM_SERVE_BUDGET_ACCOUNTANT_H_
+#define FM_SERVE_BUDGET_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fm::serve {
+
+/// Thread-safe per-dataset ε ledger with two-phase charging.
+///
+/// ε-differential privacy composes sequentially: every training run against
+/// the same live dataset adds its ε to the total disclosure, so a serving
+/// layer that trains on demand needs an accountant that concurrent requests
+/// can race on without over-spending. The offline dp::PrivacyAccountant
+/// charges in one step; this class splits a charge into
+///
+///   Reserve(worst case) → train → Commit(actual) | Abort(),
+///
+/// because a training request's final cost is not known up front (the §6
+/// kResample remedy spends 2ε when it resamples — Lemma 5 — and a request
+/// that fails to train must consume nothing). Reserve atomically sets aside
+/// the worst case and fails with kFailedPrecondition when
+/// spent + reserved + ε would exceed the total; Commit converts at most the
+/// reservation into spent budget and releases the remainder; Abort releases
+/// all of it. A rejected or aborted request therefore consumes zero budget,
+/// and the invariant
+///
+///   spent + reserved ≤ total   (spent, reserved ≥ 0)
+///
+/// holds at every instant under any interleaving (all transitions happen
+/// under one mutex).
+///
+/// Invalid ε values (≤ 0, NaN, ∞) are rejected with the library-wide
+/// dp::ValidateEpsilon InvalidArgument, never silently clamped.
+class BudgetAccountant {
+ public:
+  /// Creates an accountant with the given total ε budget. Fails with
+  /// InvalidArgument unless the total is finite and positive.
+  static Result<std::unique_ptr<BudgetAccountant>> Create(
+      double total_epsilon);
+
+  BudgetAccountant(const BudgetAccountant&) = delete;
+  BudgetAccountant& operator=(const BudgetAccountant&) = delete;
+
+  /// Atomically sets aside `epsilon` of budget for an in-flight request.
+  /// Returns a reservation id to Commit or Abort; every reservation must
+  /// eventually see exactly one of the two. Fails with InvalidArgument for
+  /// invalid ε and kFailedPrecondition when the remaining budget is
+  /// insufficient — in both cases the ledger is unchanged.
+  Result<uint64_t> Reserve(double epsilon, const std::string& label);
+
+  /// Converts `actual_epsilon` of the reservation into spent budget and
+  /// releases the rest. `actual_epsilon` must be positive and at most the
+  /// reserved amount (within 1e-12 round-off tolerance). Fails with
+  /// kNotFound for an unknown/settled id — the reservation, if any, is left
+  /// pending on failure.
+  Status Commit(uint64_t reservation, double actual_epsilon);
+
+  /// Releases the whole reservation; nothing is spent.
+  Status Abort(uint64_t reservation);
+
+  double total_epsilon() const;
+  /// Committed spend.
+  double spent_epsilon() const;
+  /// Outstanding (reserved, not yet settled) budget.
+  double reserved_epsilon() const;
+  /// total − spent − reserved: what a new Reserve can still claim.
+  double remaining_epsilon() const;
+
+  /// One committed charge.
+  struct ChargeRecord {
+    double epsilon;
+    std::string label;
+  };
+
+  /// All committed charges, in commit order (copied under the lock).
+  std::vector<ChargeRecord> charges() const;
+  size_t pending_reservations() const;
+
+ private:
+  explicit BudgetAccountant(double total_epsilon)
+      : total_epsilon_(total_epsilon) {}
+
+  struct Pending {
+    double epsilon;
+    std::string label;
+  };
+
+  mutable std::mutex mutex_;
+  double total_epsilon_;
+  double spent_epsilon_ = 0.0;
+  double reserved_epsilon_ = 0.0;
+  uint64_t next_reservation_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+  std::vector<ChargeRecord> charges_;
+};
+
+}  // namespace fm::serve
+
+#endif  // FM_SERVE_BUDGET_ACCOUNTANT_H_

@@ -1,0 +1,257 @@
+#include "serve/incremental_objective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "exec/parallel.h"
+#include "linalg/kernels.h"
+
+namespace fm::serve {
+
+namespace {
+
+// Matches data::RegressionDataset::SatisfiesNormalizationContract.
+constexpr double kContractTolerance = 1e-9;
+
+}  // namespace
+
+IncrementalObjective::IncrementalObjective(size_t dim,
+                                           core::ObjectiveKind kind)
+    : dim_(dim), kind_(kind) {}
+
+Status IncrementalObjective::ValidateTuple(const double* x, size_t dim,
+                                           double y) const {
+  if (dim != dim_) {
+    return Status::InvalidArgument(
+        "tuple dimensionality " + std::to_string(dim) +
+        " does not match the store's " + std::to_string(dim_));
+  }
+  double norm_sq = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    if (!std::isfinite(x[j])) {
+      return Status::InvalidArgument("feature values must be finite");
+    }
+    norm_sq += x[j] * x[j];
+  }
+  if (norm_sq > (1.0 + kContractTolerance) * (1.0 + kContractTolerance)) {
+    return Status::InvalidArgument(
+        "‖x‖₂ > 1 violates the §3 normalization contract; run tuples "
+        "through data::Normalizer first");
+  }
+  if (!std::isfinite(y)) {
+    return Status::InvalidArgument("label must be finite");
+  }
+  switch (kind_) {
+    case core::ObjectiveKind::kLinear:
+      if (y < -1.0 - kContractTolerance || y > 1.0 + kContractTolerance) {
+        return Status::InvalidArgument(
+            "linear-task label outside [−1, 1] violates the §3 contract");
+      }
+      break;
+    case core::ObjectiveKind::kTruncatedLogistic:
+      if (y != 0.0 && y != 1.0) {
+        return Status::InvalidArgument(
+            "logistic-task label must be 0 or 1");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+uint64_t IncrementalObjective::AppendTuple(const double* x, double y) {
+  const uint64_t slot = ys_.size();
+  xs_.insert(xs_.end(), x, x + dim_);
+  ys_.push_back(y);
+  live_.push_back(1);
+  ++live_count_;
+  if (slot / core::kObjectiveShardRows >= shard_sums_.size()) {
+    shard_sums_.emplace_back(num_coefficients(), 0.0);
+    shard_comps_.emplace_back(num_coefficients(), 0.0);
+  }
+  return slot;
+}
+
+Result<uint64_t> IncrementalObjective::Insert(const double* x, size_t dim,
+                                              double y) {
+  FM_RETURN_NOT_OK(ValidateTuple(x, dim, y));
+  const uint64_t slot = AppendTuple(x, y);
+  const size_t shard = slot / core::kObjectiveShardRows;
+  // Appending this tuple's compensated contribution is exactly the next
+  // step of a from-scratch in-order accumulation of the shard's live slots
+  // (the batch kernels are bit-identical to single-tuple calls in the same
+  // order), so the class invariant is preserved bitwise.
+  core::AccumulateTupleContribution(kind_, xs_.data() + slot * dim_, dim_,
+                                    ys_[slot], shard_sums_[shard].data(),
+                                    shard_comps_[shard].data());
+  return slot;
+}
+
+Result<uint64_t> IncrementalObjective::Insert(const linalg::Vector& x,
+                                              double y) {
+  return Insert(x.raw(), x.size(), y);
+}
+
+Result<uint64_t> IncrementalObjective::InsertBatch(
+    const data::RegressionDataset& tuples, exec::ThreadPool* pool) {
+  // Validate everything before mutating anything, so a rejected batch
+  // leaves the store untouched.
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    Status status = ValidateTuple(tuples.x.Row(i), tuples.dim(), tuples.y[i]);
+    if (!status.ok()) {
+      return Status(status.code(), "batch row " + std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+  if (tuples.size() == 0) {
+    return Status::InvalidArgument("empty insert batch");
+  }
+
+  const uint64_t first = ys_.size();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    AppendTuple(tuples.x.Row(i), tuples.y[i]);
+  }
+  // The new slots span a contiguous shard range; each affected shard's
+  // partials gain its new slots' contributions in slot order, which is the
+  // same per-shard operation sequence the serial Insert loop performs —
+  // shards are independent, so running them concurrently cannot change a
+  // bit, for any pool size.
+  const size_t first_shard = first / core::kObjectiveShardRows;
+  const size_t last_shard = (ys_.size() - 1) / core::kObjectiveShardRows;
+  exec::ParallelFor(
+      last_shard - first_shard + 1,
+      [&](size_t i) {
+        const size_t shard = first_shard + i;
+        const size_t shard_begin = shard * core::kObjectiveShardRows;
+        const size_t begin = std::max<size_t>(first, shard_begin);
+        const size_t end = std::min<size_t>(
+            ys_.size(), shard_begin + core::kObjectiveShardRows);
+        AccumulateSlotRange(begin, end, shard_sums_[shard].data(),
+                            shard_comps_[shard].data());
+      },
+      pool != nullptr ? *pool : exec::ThreadPool::Global());
+  return first;
+}
+
+void IncrementalObjective::AccumulateSlotRange(size_t begin, size_t end,
+                                               double* sum,
+                                               double* comp) const {
+  constexpr size_t kB = linalg::kernels::kCompensatedBatch;
+  const double* batch_xs[kB];
+  double batch_ys[kB];
+  size_t filled = 0;
+  for (size_t slot = begin; slot < end; ++slot) {
+    if (!live_[slot]) continue;
+    batch_xs[filled] = xs_.data() + slot * dim_;
+    batch_ys[filled] = ys_[slot];
+    if (++filled == kB) {
+      core::AccumulateTupleContributionBatch(kind_, batch_xs, dim_, batch_ys,
+                                             sum, comp);
+      filled = 0;
+    }
+  }
+  for (size_t r = 0; r < filled; ++r) {
+    core::AccumulateTupleContribution(kind_, batch_xs[r], dim_, batch_ys[r],
+                                      sum, comp);
+  }
+}
+
+void IncrementalObjective::AccumulateShardSlots(size_t shard, double* sum,
+                                                double* comp) const {
+  const size_t begin = shard * core::kObjectiveShardRows;
+  const size_t end =
+      std::min<size_t>(ys_.size(), begin + core::kObjectiveShardRows);
+  AccumulateSlotRange(begin, end, sum, comp);
+}
+
+void IncrementalObjective::RecomputeShard(size_t shard) {
+  std::fill(shard_sums_[shard].begin(), shard_sums_[shard].end(), 0.0);
+  std::fill(shard_comps_[shard].begin(), shard_comps_[shard].end(), 0.0);
+  AccumulateShardSlots(shard, shard_sums_[shard].data(),
+                       shard_comps_[shard].data());
+}
+
+Status IncrementalObjective::Delete(uint64_t slot) {
+  if (slot >= ys_.size() || !live_[slot]) {
+    return Status::NotFound("no live tuple at slot " + std::to_string(slot));
+  }
+  live_[slot] = 0;
+  --live_count_;
+  // Scrub the dead tuple's raw values — a deleted private record must not
+  // stay resident. The slot itself is retained (never reused or
+  // compacted), keeping every live slot id stable.
+  std::fill(xs_.begin() + static_cast<ptrdiff_t>(slot * dim_),
+            xs_.begin() + static_cast<ptrdiff_t>((slot + 1) * dim_), 0.0);
+  ys_[slot] = 0.0;
+  // Per-shard recompute (not compensated subtraction): the shard's state
+  // returns to exactly the compensated in-order sum of its remaining live
+  // tuples, keeping the invariant bitwise — see the class comment and
+  // docs/DETERMINISM.md.
+  RecomputeShard(slot / core::kObjectiveShardRows);
+  return Status::OK();
+}
+
+Status IncrementalObjective::Update(uint64_t slot, const double* x,
+                                    size_t dim, double y) {
+  if (slot >= ys_.size() || !live_[slot]) {
+    return Status::NotFound("no live tuple at slot " + std::to_string(slot));
+  }
+  FM_RETURN_NOT_OK(ValidateTuple(x, dim, y));
+  std::memcpy(xs_.data() + slot * dim_, x, dim_ * sizeof(double));
+  ys_[slot] = y;
+  RecomputeShard(slot / core::kObjectiveShardRows);
+  return Status::OK();
+}
+
+opt::QuadraticModel IncrementalObjective::Objective() const {
+  const size_t coefficients = num_coefficients();
+  std::vector<double> sum(coefficients, 0.0);
+  std::vector<double> comp(coefficients, 0.0);
+  // Same reduction shape as ObjectiveAccumulator::Build: shard partials
+  // folded serially in shard order, compensations carried.
+  for (size_t s = 0; s < shard_sums_.size(); ++s) {
+    for (size_t idx = 0; idx < coefficients; ++idx) {
+      core::CompensatedAdd(sum[idx], comp[idx], shard_sums_[s][idx]);
+      comp[idx] += shard_comps_[s][idx];
+    }
+  }
+  return core::RoundObjectiveCoefficients(dim_, sum.data(), comp.data());
+}
+
+data::RegressionDataset IncrementalObjective::Materialize() const {
+  data::RegressionDataset out;
+  out.x = linalg::Matrix(live_count_, dim_);
+  out.y = linalg::Vector(live_count_);
+  size_t row = 0;
+  for (size_t slot = 0; slot < ys_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    std::memcpy(out.x.Row(row), xs_.data() + slot * dim_,
+                dim_ * sizeof(double));
+    out.y[row] = ys_[slot];
+    ++row;
+  }
+  return out;
+}
+
+IncrementalObjective IncrementalObjective::RebuildFromScratch(
+    exec::ThreadPool* pool) const {
+  IncrementalObjective fresh(dim_, kind_);
+  fresh.xs_ = xs_;
+  fresh.ys_ = ys_;
+  fresh.live_ = live_;
+  fresh.live_count_ = live_count_;
+  fresh.shard_sums_.assign(shard_sums_.size(),
+                           std::vector<double>(num_coefficients(), 0.0));
+  fresh.shard_comps_.assign(shard_comps_.size(),
+                            std::vector<double>(num_coefficients(), 0.0));
+  exec::ParallelFor(
+      fresh.shard_sums_.size(),
+      [&](size_t s) {
+        fresh.AccumulateShardSlots(s, fresh.shard_sums_[s].data(),
+                                   fresh.shard_comps_[s].data());
+      },
+      pool != nullptr ? *pool : exec::ThreadPool::Global());
+  return fresh;
+}
+
+}  // namespace fm::serve

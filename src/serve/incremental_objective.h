@@ -1,0 +1,164 @@
+#ifndef FM_SERVE_INCREMENTAL_OBJECTIVE_H_
+#define FM_SERVE_INCREMENTAL_OBJECTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/objective_accumulator.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+#include "opt/quadratic_model.h"
+
+namespace fm::exec {
+class ThreadPool;
+}  // namespace fm::exec
+
+namespace fm::serve {
+
+/// Online counterpart of core::ObjectiveAccumulator: a live, mutable tuple
+/// store whose §4.2 / §5.3 quadratic objective is maintained incrementally
+/// under INSERT / DELETE / UPDATE — the serving layer's answer to the
+/// paper's central structural fact that both FM objectives are plain sums of
+/// per-tuple contributions. An insert is an O(d²) compensated delta; a
+/// delete recomputes only its 1024-row shard; deriving the current objective
+/// is O(shards · d²) — so a continuously-updated private model never pays
+/// the O(n · d²) full re-summation that an offline rebuild would.
+///
+/// State model. Every inserted tuple occupies a permanent slot (a monotonic
+/// id); deletion marks the slot dead and leaves a hole. Slots are grouped
+/// into fixed core::kObjectiveShardRows-sized shards, each holding a
+/// Neumaier-compensated partial coefficient sum over its live tuples,
+/// accumulated in slot order through the same
+/// core::AccumulateTupleContribution(Batch) primitives the offline
+/// accumulator uses. The class invariant — what makes incremental
+/// maintenance trustworthy — is:
+///
+///   every shard's (sum, comp) state is bit-identical to a from-scratch
+///   compensated accumulation of its live tuples in slot order.
+///
+/// Inserts preserve it because appending a tuple's compensated contribution
+/// IS the next step of that from-scratch accumulation. Deletes preserve it
+/// by per-shard recompute: the affected shard's partials are rebuilt from
+/// its remaining live tuples (≤ 1024 of them — bounded, cheap, and exact in
+/// the sense above). Compensated *subtraction* of the deleted contribution
+/// was considered and rejected: it leaves the shard state dependent on the
+/// full insert/delete history, so errors could accumulate over an unbounded
+/// request log and the ≤1-ulp-of-fresh-build guarantee would degrade to
+/// ≤k-ulp after k deletes (see docs/DETERMINISM.md, "The serving layer").
+///
+/// Consequences of the invariant:
+///  - Objective() — the serial in-shard-order compensated reduction — is a
+///    pure function of the live slot→tuple map: bit-identical for every
+///    FM_THREADS, every FM_BLOCKED_LINALG, every insert grouping, and every
+///    delete path that arrives at the same live map.
+///  - An insert-then-delete round trip restores the previous state exactly
+///    (bitwise), not just approximately.
+///  - Against the canonical offline build on the same live tuples
+///    (ObjectiveAccumulator::Build over Materialize()), holes shift the
+///    shard packing, so bits may differ — but both are compensated faithful
+///    summations of the identical tuple multiset, so every coefficient
+///    agrees within 1 ulp (asserted in tests/serve_test.cc).
+///
+/// Slots are never reused or compacted, so every live slot id stays valid
+/// for the store's lifetime; a delete scrubs the dead tuple's raw values
+/// but keeps the (empty) slot. Under insert+delete churn the slot space —
+/// and the shard count Objective() reduces over — therefore grows with
+/// total insert history, not live size (O(d²) per dead shard, no tuple
+/// data). Background compaction with a slot-remap is future work
+/// (ROADMAP.md).
+///
+/// Thread-compatibility: const methods may run concurrently; mutations
+/// require external serialization (serve::Service provides it).
+class IncrementalObjective {
+ public:
+  /// An empty store for `dim`-dimensional tuples contributing to `kind`.
+  IncrementalObjective(size_t dim, core::ObjectiveKind kind);
+
+  size_t dim() const { return dim_; }
+  core::ObjectiveKind kind() const { return kind_; }
+  /// Number of live tuples.
+  size_t live_size() const { return live_count_; }
+  /// High-water slot count (live + holes).
+  size_t slot_count() const { return ys_.size(); }
+  size_t num_shards() const { return shard_sums_.size(); }
+
+  /// Validates the §3 normalization contract for `kind` (finite values,
+  /// ‖x‖₂ ≤ 1; y ∈ [−1, 1] for kLinear, y ∈ {0, 1} for kTruncatedLogistic)
+  /// and appends the tuple. O(d²). Returns the assigned slot id.
+  Result<uint64_t> Insert(const double* x, size_t dim, double y);
+  Result<uint64_t> Insert(const linalg::Vector& x, double y);
+
+  /// Bulk insert of every tuple of `tuples` (validated up front; rejected
+  /// atomically — either all rows pass and are inserted or none are).
+  /// Returns the first assigned slot; the batch occupies consecutive slots.
+  /// Accumulates affected shards concurrently on `pool` (nullptr → the
+  /// global FM_THREADS pool); bit-identical to the equivalent sequence of
+  /// single Inserts for every pool size.
+  Result<uint64_t> InsertBatch(const data::RegressionDataset& tuples,
+                               exec::ThreadPool* pool = nullptr);
+
+  /// Marks `slot` dead and recomputes its shard from the remaining live
+  /// tuples. O(kObjectiveShardRows · d²). Fails with kNotFound when the
+  /// slot was never assigned or is already dead.
+  Status Delete(uint64_t slot);
+
+  /// Replaces the tuple at live `slot` in place (validating the new tuple)
+  /// and recomputes its shard once. Equivalent to Delete + re-Insert into
+  /// the same slot, at half the recompute cost.
+  Status Update(uint64_t slot, const double* x, size_t dim, double y);
+
+  /// The current objective over all live tuples: shard partials reduced
+  /// serially in shard order, compensation carried, then rounded.
+  /// O(shards · d²). Deterministic per the class invariant.
+  opt::QuadraticModel Objective() const;
+
+  /// The live tuples, densely packed in slot order. O(n · d).
+  data::RegressionDataset Materialize() const;
+
+  /// From-scratch reference rebuild: a fresh IncrementalObjective holding
+  /// the same slots (including holes) re-accumulated from the raw tuples on
+  /// `pool`. By the class invariant its state — and therefore Objective()
+  /// — is bit-identical to this one; tests and examples use it to verify
+  /// incremental maintenance against a full recompute.
+  IncrementalObjective RebuildFromScratch(exec::ThreadPool* pool = nullptr)
+      const;
+
+ private:
+  // Validates one tuple against the §3 contract for kind_.
+  Status ValidateTuple(const double* x, size_t dim, double y) const;
+
+  // Accumulates the live slots in [begin, end) in slot order into
+  // (sum, comp), batching through the shared core primitives (bit-identical
+  // to single-tuple accumulation in the same order).
+  void AccumulateSlotRange(size_t begin, size_t end, double* sum,
+                           double* comp) const;
+
+  // Same over all of shard `shard`'s slots.
+  void AccumulateShardSlots(size_t shard, double* sum, double* comp) const;
+
+  // Rebuilds shard `shard`'s partials from its live tuples.
+  void RecomputeShard(size_t shard);
+
+  // Appends storage for one tuple (no accumulation), growing shards.
+  uint64_t AppendTuple(const double* x, double y);
+
+  size_t num_coefficients() const {
+    return core::NumObjectiveCoefficients(dim_);
+  }
+
+  size_t dim_;
+  core::ObjectiveKind kind_;
+  std::vector<double> xs_;     // slot-major features, dim_ per slot
+  std::vector<double> ys_;     // slot labels
+  std::vector<uint8_t> live_;  // slot liveness
+  size_t live_count_ = 0;
+  // Per-shard compensated partial coefficient sums over live tuples.
+  std::vector<std::vector<double>> shard_sums_;
+  std::vector<std::vector<double>> shard_comps_;
+};
+
+}  // namespace fm::serve
+
+#endif  // FM_SERVE_INCREMENTAL_OBJECTIVE_H_

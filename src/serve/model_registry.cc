@@ -1,0 +1,45 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+
+namespace fm::serve {
+
+ModelRegistry::ModelRegistry(size_t max_history)
+    : max_history_(std::max<size_t>(1, max_history)) {}
+
+uint64_t ModelRegistry::Publish(ModelSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.version = next_version_++;
+  const uint64_t version = snapshot.version;
+  history_.push_back(
+      std::make_shared<const ModelSnapshot>(std::move(snapshot)));
+  while (history_.size() > max_history_) history_.pop_front();
+  return version;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::Latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.empty() ? nullptr : history_.back();
+}
+
+Result<std::shared_ptr<const ModelSnapshot>> ModelRegistry::Get(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& snapshot : history_) {
+    if (snapshot->version == version) return snapshot;
+  }
+  return Status::NotFound("model version " + std::to_string(version) +
+                          " not found (never published or evicted)");
+}
+
+uint64_t ModelRegistry::latest_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_version_ - 1;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.size();
+}
+
+}  // namespace fm::serve

@@ -1,0 +1,350 @@
+#include "serve/service.h"
+
+#include <string>
+#include <utility>
+
+#include "baselines/fm_algorithm.h"
+#include "baselines/no_privacy.h"
+#include "core/fm_linear.h"
+#include "core/fm_logistic.h"
+#include "dp/budget.h"
+#include "eval/metrics.h"
+#include "exec/parallel.h"
+
+namespace fm::serve {
+
+const char* TrainerKindToString(TrainerKind kind) {
+  switch (kind) {
+    case TrainerKind::kFunctionalMechanism:
+      return "FM";
+    case TrainerKind::kTruncated:
+      return "Truncated";
+    case TrainerKind::kNoPrivacy:
+      return "NoPrivacy";
+  }
+  return "?";
+}
+
+Request Request::Insert(linalg::Vector features, double label) {
+  Request r;
+  r.kind = RequestKind::kInsert;
+  r.x = std::move(features);
+  r.y = label;
+  return r;
+}
+
+Request Request::Delete(uint64_t slot) {
+  Request r;
+  r.kind = RequestKind::kDelete;
+  r.slot = slot;
+  return r;
+}
+
+Request Request::Train(TrainerKind trainer, double epsilon) {
+  Request r;
+  r.kind = RequestKind::kTrain;
+  r.trainer = trainer;
+  r.epsilon = epsilon;
+  return r;
+}
+
+Request Request::Predict(linalg::Vector features) {
+  Request r;
+  r.kind = RequestKind::kPredict;
+  r.x = std::move(features);
+  return r;
+}
+
+Request Request::Evaluate() {
+  Request r;
+  r.kind = RequestKind::kEvaluate;
+  return r;
+}
+
+Service::Service(const ServiceOptions& options,
+                 std::unique_ptr<BudgetAccountant> accountant)
+    : options_(options),
+      objective_(options.dim, core::ObjectiveKindForTask(options.task)),
+      accountant_(std::move(accountant)),
+      registry_(options.max_model_history) {}
+
+Result<std::unique_ptr<Service>> Service::Create(
+    const ServiceOptions& options) {
+  if (options.dim == 0) {
+    return Status::InvalidArgument("service dimensionality must be >= 1");
+  }
+  FM_ASSIGN_OR_RETURN(std::unique_ptr<BudgetAccountant> accountant,
+                      BudgetAccountant::Create(options.total_epsilon));
+  return std::unique_ptr<Service>(
+      new Service(options, std::move(accountant)));
+}
+
+exec::ThreadPool& Service::pool() const {
+  return options_.pool != nullptr ? *options_.pool
+                                  : exec::ThreadPool::Global();
+}
+
+Status Service::Bootstrap(const data::RegressionDataset& initial) {
+  if (initial.size() == 0) return Status::OK();
+  return objective_.InsertBatch(initial, &pool()).status();
+}
+
+std::vector<Response> Service::ExecuteLog(const std::vector<Request>& log) {
+  std::vector<Response> out(log.size());
+  const uint64_t base = next_position_;
+  size_t i = 0;
+  while (i < log.size()) {
+    const RequestKind kind = log[i].kind;
+    if (kind == RequestKind::kPredict || kind == RequestKind::kInsert) {
+      // Maximal same-kind run: batched execution is response- and
+      // state-equivalent to serial execution (see the class comment), so
+      // serializability in log order is preserved.
+      size_t j = i;
+      while (j < log.size() && log[j].kind == kind) ++j;
+      if (kind == RequestKind::kPredict) {
+        RunPredictBatch(log, i, j, out);
+      } else {
+        RunInsertBatch(log, i, j, out);
+      }
+      i = j;
+      continue;
+    }
+    switch (kind) {
+      case RequestKind::kDelete:
+        out[i] = DoDelete(log[i]);
+        break;
+      case RequestKind::kTrain:
+        out[i] = DoTrain(log[i], base + i);
+        break;
+      case RequestKind::kEvaluate:
+      default:
+        out[i] = DoEvaluate();
+        break;
+    }
+    ++i;
+  }
+  next_position_ = base + log.size();
+  return out;
+}
+
+uint64_t Service::Enqueue(Request request) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  const uint64_t ticket = queue_base_ + queue_.size();
+  queue_.push_back(std::move(request));
+  return ticket;
+}
+
+std::vector<Response> Service::Drain() {
+  std::vector<Request> batch;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    batch.swap(queue_);
+    queue_base_ += batch.size();
+  }
+  return ExecuteLog(batch);
+}
+
+Response Service::DoInsert(const Request& request) {
+  Response r;
+  const Result<uint64_t> slot =
+      objective_.Insert(request.x, request.y);
+  if (!slot.ok()) {
+    r.status = slot.status();
+    return r;
+  }
+  r.slot = slot.ValueOrDie();
+  return r;
+}
+
+void Service::RunInsertBatch(const std::vector<Request>& log, size_t begin,
+                             size_t end, std::vector<Response>& out) {
+  const size_t count = end - begin;
+  if (count == 1) {
+    out[begin] = DoInsert(log[begin]);
+    return;
+  }
+  // Hot path: assemble the run into one dataset and bulk-accumulate its
+  // shards concurrently. InsertBatch validates up front and is atomic, so
+  // if any row is invalid fall back to per-request inserts — each request
+  // then reports its own status, exactly as serial execution would.
+  bool uniform = true;
+  for (size_t i = begin; i < end && uniform; ++i) {
+    uniform = log[i].x.size() == objective_.dim();
+  }
+  if (uniform) {
+    data::RegressionDataset batch;
+    batch.x = linalg::Matrix(count, objective_.dim());
+    batch.y = linalg::Vector(count);
+    for (size_t i = 0; i < count; ++i) {
+      batch.x.SetRow(i, log[begin + i].x);
+      batch.y[i] = log[begin + i].y;
+    }
+    const Result<uint64_t> first = objective_.InsertBatch(batch, &pool());
+    if (first.ok()) {
+      for (size_t i = 0; i < count; ++i) {
+        out[begin + i].slot = first.ValueOrDie() + i;
+      }
+      return;
+    }
+  }
+  for (size_t i = begin; i < end; ++i) out[i] = DoInsert(log[i]);
+}
+
+Response Service::DoDelete(const Request& request) {
+  Response r;
+  r.status = objective_.Delete(request.slot);
+  r.slot = request.slot;
+  return r;
+}
+
+namespace {
+
+// Runs the requested trainer against the maintained objective. All trainers
+// go through the RegressionAlgorithm::TrainFromObjective hook — the serving
+// layer never materializes the tuples to train.
+Result<baselines::TrainedModel> TrainWith(
+    const Request& request, const ServiceOptions& options,
+    const opt::QuadraticModel& objective, Rng& rng) {
+  switch (request.trainer) {
+    case TrainerKind::kFunctionalMechanism: {
+      core::FmOptions fm_options;
+      fm_options.epsilon = request.epsilon;
+      fm_options.post_processing = options.post_processing;
+      return baselines::FmAlgorithm(fm_options)
+          .TrainFromObjective(objective, options.task, rng);
+    }
+    case TrainerKind::kTruncated:
+      return baselines::Truncated().TrainFromObjective(objective,
+                                                       options.task, rng);
+    case TrainerKind::kNoPrivacy:
+    default:
+      return baselines::NoPrivacy().TrainFromObjective(objective,
+                                                       options.task, rng);
+  }
+}
+
+}  // namespace
+
+Response Service::DoTrain(const Request& request, uint64_t position) {
+  Response r;
+  if (objective_.live_size() == 0) {
+    r.status = Status::FailedPrecondition("cannot train on an empty store");
+    return r;
+  }
+
+  const bool is_private =
+      request.trainer == TrainerKind::kFunctionalMechanism;
+  uint64_t reservation = 0;
+  if (is_private) {
+    r.status = dp::ValidateEpsilon(request.epsilon);
+    if (!r.status.ok()) return r;
+    // Reserve the worst case up front: Lemma 5's resampling remedy spends
+    // 2ε when it resamples, every other path spends ε. Commit converts the
+    // actual spend and releases the rest; a failed train aborts and
+    // consumes nothing.
+    const double worst_case =
+        options_.post_processing == core::PostProcessing::kResample
+            ? 2.0 * request.epsilon
+            : request.epsilon;
+    const Result<uint64_t> reserved = accountant_->Reserve(
+        worst_case, "train@" + std::to_string(position));
+    if (!reserved.ok()) {
+      r.status = reserved.status();
+      return r;
+    }
+    reservation = reserved.ValueOrDie();
+  }
+
+  // All training randomness derives from the request's log position — never
+  // from thread scheduling — so the released coefficients are bit-identical
+  // for every FM_THREADS (the determinism contract, docs/SERVING.md).
+  Rng rng(Rng::Fork(options_.seed, position));
+  const Result<baselines::TrainedModel> trained =
+      TrainWith(request, options_, objective_.Objective(), rng);
+  if (!trained.ok()) {
+    if (is_private) accountant_->Abort(reservation);
+    r.status = trained.status();
+    return r;
+  }
+
+  const baselines::TrainedModel& model = trained.ValueOrDie();
+  if (is_private) {
+    const Status committed =
+        accountant_->Commit(reservation, model.epsilon_spent);
+    if (!committed.ok()) {
+      accountant_->Abort(reservation);
+      r.status = committed;
+      return r;
+    }
+  }
+
+  ModelSnapshot snapshot;
+  snapshot.algorithm = TrainerKindToString(request.trainer);
+  snapshot.task = options_.task;
+  snapshot.omega = model.omega;
+  snapshot.epsilon_spent = is_private ? model.epsilon_spent : 0.0;
+  snapshot.is_private = is_private;
+  snapshot.log_position = position;
+  snapshot.trained_on = objective_.live_size();
+  r.model_version = registry_.Publish(std::move(snapshot));
+  r.epsilon_spent = is_private ? model.epsilon_spent : 0.0;
+  return r;
+}
+
+Response Service::DoPredict(
+    const Request& request,
+    const std::shared_ptr<const ModelSnapshot>& snapshot) const {
+  Response r;
+  if (snapshot == nullptr) {
+    r.status = Status::FailedPrecondition(
+        "no model published yet; submit a train request first");
+    return r;
+  }
+  if (request.x.size() != options_.dim) {
+    r.status = Status::InvalidArgument(
+        "predict feature dimensionality " + std::to_string(request.x.size()) +
+        " does not match the service's " + std::to_string(options_.dim));
+    return r;
+  }
+  r.model_version = snapshot->version;
+  r.value = options_.task == data::TaskKind::kLinear
+                ? core::FmLinearRegression::Predict(snapshot->omega, request.x)
+                : core::FmLogisticRegression::PredictProbability(
+                      snapshot->omega, request.x);
+  return r;
+}
+
+void Service::RunPredictBatch(const std::vector<Request>& log, size_t begin,
+                              size_t end, std::vector<Response>& out) const {
+  // One snapshot for the whole run: every predict in the batch reads the
+  // same model version (snapshot isolation), which is also what serial
+  // execution would see — no write sits between them in the log.
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_.Latest();
+  const auto responses = exec::ParallelMap(
+      end - begin,
+      [&](size_t i) { return DoPredict(log[begin + i], snapshot); }, pool());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    out[begin + i] = responses[i];
+  }
+}
+
+Response Service::DoEvaluate() {
+  Response r;
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_.Latest();
+  if (snapshot == nullptr) {
+    r.status = Status::FailedPrecondition("no model published yet");
+    return r;
+  }
+  if (objective_.live_size() == 0) {
+    r.status = Status::FailedPrecondition("no live tuples to evaluate on");
+    return r;
+  }
+  // Online validation through the §7 metrics: the latest model scored over
+  // the current live tuples (MSE or misclassification rate per the task).
+  const data::RegressionDataset live = objective_.Materialize();
+  r.model_version = snapshot->version;
+  r.value = eval::TaskError(options_.task, snapshot->omega, live);
+  return r;
+}
+
+}  // namespace fm::serve

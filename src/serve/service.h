@@ -1,0 +1,185 @@
+#ifndef FM_SERVE_SERVICE_H_
+#define FM_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/functional_mechanism.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "linalg/vector.h"
+#include "serve/budget_accountant.h"
+#include "serve/incremental_objective.h"
+#include "serve/model_registry.h"
+
+namespace fm::exec {
+class ThreadPool;
+}  // namespace fm::exec
+
+namespace fm::serve {
+
+/// Which trainer a kTrain request runs. All three consume the live tuples
+/// only through the maintained quadratic objective (the
+/// RegressionAlgorithm::TrainFromObjective hook), which is what makes
+/// on-demand retraining O(d³ + shards·d²) instead of O(n·d²).
+enum class TrainerKind {
+  /// The paper's ε-DP Functional Mechanism; charges the budget ledger.
+  kFunctionalMechanism,
+  /// Non-private minimizer of the (truncated) objective; free.
+  kTruncated,
+  /// Non-private exact optimum (linear task only); free.
+  kNoPrivacy,
+};
+
+const char* TrainerKindToString(TrainerKind kind);
+
+/// What a request does. The engine batches maximal runs of same-kind
+/// read-only/ingest requests (see Service::ExecuteLog).
+enum class RequestKind { kInsert, kDelete, kTrain, kPredict, kEvaluate };
+
+/// One request in the service's log. Use the factory helpers; unused fields
+/// are ignored by the engine.
+struct Request {
+  RequestKind kind = RequestKind::kPredict;
+  linalg::Vector x;  ///< kInsert / kPredict features.
+  double y = 0.0;    ///< kInsert label.
+  uint64_t slot = 0;  ///< kDelete target.
+  TrainerKind trainer = TrainerKind::kFunctionalMechanism;  ///< kTrain.
+  double epsilon = 0.8;  ///< kTrain budget (kFunctionalMechanism only).
+
+  static Request Insert(linalg::Vector features, double label);
+  static Request Delete(uint64_t slot);
+  static Request Train(TrainerKind trainer, double epsilon);
+  static Request Predict(linalg::Vector features);
+  static Request Evaluate();
+};
+
+/// Outcome of one request. `status` is per-request — a failed request never
+/// fails the log; it reports here and leaves all state (tuples, budget,
+/// models) untouched.
+struct Response {
+  Status status;
+  uint64_t slot = 0;           ///< kInsert: assigned slot id.
+  double value = 0.0;          ///< kPredict: ŷ; kEvaluate: §7 task error.
+  uint64_t model_version = 0;  ///< kTrain: published; kPredict/kEvaluate: used.
+  double epsilon_spent = 0.0;  ///< kTrain: ε committed to the ledger.
+};
+
+struct ServiceOptions {
+  /// Feature dimensionality of the served dataset (fixed at creation).
+  size_t dim = 0;
+  data::TaskKind task = data::TaskKind::kLinear;
+  /// §6 remedy used by kFunctionalMechanism trains. kResample reserves 2ε
+  /// (its Lemma-5 worst case) and commits what the fit actually spent.
+  core::PostProcessing post_processing = core::PostProcessing::kAdaptive;
+  /// Total ε the dataset may ever disclose (sequential composition).
+  double total_epsilon = 4.0;
+  /// Root seed; train request at log position p draws from
+  /// Rng(Rng::Fork(seed, p)).
+  uint64_t seed = 0x5e12e5eed;
+  /// Pool for batched predicts/ingest; nullptr → the global FM_THREADS pool.
+  exec::ThreadPool* pool = nullptr;
+  /// Model versions retained by the registry.
+  size_t max_model_history = 64;
+};
+
+/// The online DP-regression service: a request engine over the incremental
+/// objective, the budget ledger, and the model registry.
+///
+/// Semantics are strictly serializable in log order: the effect and response
+/// of every request equal those of one-at-a-time execution in the order the
+/// log presents them. Within that contract the engine extracts parallelism
+/// from maximal same-kind runs — consecutive kPredict requests evaluate
+/// concurrently against one registry snapshot (they are read-only and all
+/// see the same version, exactly as serial execution would), and consecutive
+/// kInsert requests bulk-accumulate their disjoint shards concurrently
+/// (bit-identical to serial inserts by the IncrementalObjective invariant).
+/// kTrain / kDelete / kEvaluate execute serially at their log position.
+///
+/// Determinism contract: for a fixed request log (and fixed ServiceOptions
+/// seed), every response — including released model coefficients — is
+/// bit-identical for every FM_THREADS value and both FM_BLOCKED_LINALG
+/// modes. Training randomness comes from Rng::Fork(seed, log_position),
+/// never from execution order (tests/serve_test.cc asserts this end to
+/// end). See docs/SERVING.md.
+class Service {
+ public:
+  /// Validates the options (dim ≥ 1, total ε finite and positive).
+  static Result<std::unique_ptr<Service>> Create(const ServiceOptions& options);
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Bulk-loads an initial dataset (e.g. an offline snapshot) before
+  /// serving. Counts as ingest, not disclosure: no budget is charged until
+  /// something trains on the data. Tuples are validated against the §3
+  /// contract like any insert.
+  Status Bootstrap(const data::RegressionDataset& initial);
+
+  /// Executes `log` in order with batched parallelism (see class comment)
+  /// and returns one Response per request, in log order.
+  std::vector<Response> ExecuteLog(const std::vector<Request>& log);
+
+  /// Thread-safe request submission for concurrent clients: appends to the
+  /// internal queue and returns the request's ticket — its ordinal among
+  /// all Enqueued requests. Tickets coincide with log positions only when
+  /// every request flows through Enqueue/Drain; after direct ExecuteLog
+  /// calls the two counters diverge, so correlate trains with their
+  /// published models via Response::model_version (or
+  /// ModelSnapshot::log_position), not via the ticket.
+  uint64_t Enqueue(Request request);
+
+  /// Drains the queue in ticket order through ExecuteLog and returns the
+  /// drained requests' responses (ticket order). Call from one thread at a
+  /// time; Enqueue may race with it (requests enqueued during a drain land
+  /// in the next one).
+  std::vector<Response> Drain();
+
+  /// Log positions consumed so far.
+  uint64_t log_position() const { return next_position_; }
+
+  const IncrementalObjective& objective() const { return objective_; }
+  const BudgetAccountant& accountant() const { return *accountant_; }
+  const ModelRegistry& registry() const { return registry_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  explicit Service(const ServiceOptions& options,
+                   std::unique_ptr<BudgetAccountant> accountant);
+
+  exec::ThreadPool& pool() const;
+
+  // Handlers; `position` is the request's absolute log position.
+  Response DoInsert(const Request& request);
+  Response DoDelete(const Request& request);
+  Response DoTrain(const Request& request, uint64_t position);
+  Response DoPredict(const Request& request,
+                     const std::shared_ptr<const ModelSnapshot>& snapshot)
+      const;
+  Response DoEvaluate();
+
+  // Batched handlers over log[begin, end).
+  void RunPredictBatch(const std::vector<Request>& log, size_t begin,
+                       size_t end, std::vector<Response>& out) const;
+  void RunInsertBatch(const std::vector<Request>& log, size_t begin,
+                      size_t end, std::vector<Response>& out);
+
+  ServiceOptions options_;
+  IncrementalObjective objective_;
+  std::unique_ptr<BudgetAccountant> accountant_;
+  ModelRegistry registry_;
+  uint64_t next_position_ = 0;
+
+  std::mutex queue_mutex_;
+  std::vector<Request> queue_;
+  uint64_t queue_base_ = 0;
+};
+
+}  // namespace fm::serve
+
+#endif  // FM_SERVE_SERVICE_H_

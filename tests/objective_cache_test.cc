@@ -17,6 +17,7 @@
 #include "baselines/fm_algorithm.h"
 #include "baselines/no_privacy.h"
 #include "common/rng.h"
+#include "common/ulp.h"
 #include "core/objective_accumulator.h"
 #include "core/taylor.h"
 #include "eval/cross_validation.h"
@@ -25,24 +26,6 @@
 
 namespace fm {
 namespace {
-
-// Distance between two doubles in units in the last place, via the
-// lexicographically ordered integer representation of IEEE-754 doubles.
-uint64_t UlpDistance(double a, double b) {
-  if (a == b) return 0;  // covers +0 vs −0
-  if (std::isnan(a) || std::isnan(b)) {
-    return std::numeric_limits<uint64_t>::max();
-  }
-  auto ordered = [](double d) {
-    int64_t i;
-    std::memcpy(&i, &d, sizeof(i));
-    return i < 0 ? std::numeric_limits<int64_t>::min() - i : i;
-  };
-  const int64_t ia = ordered(a);
-  const int64_t ib = ordered(b);
-  return ia > ib ? static_cast<uint64_t>(ia) - static_cast<uint64_t>(ib)
-                 : static_cast<uint64_t>(ib) - static_cast<uint64_t>(ia);
-}
 
 // Max per-coefficient ulp distance between two models of equal shape.
 uint64_t MaxUlpDistance(const opt::QuadraticModel& a,

@@ -1,0 +1,638 @@
+// The serving layer's contracts, end to end:
+//  - serve::IncrementalObjective maintains, under INSERT/DELETE/UPDATE, the
+//    exact compensated shard state a from-scratch build would produce —
+//    bitwise against a dense core::ObjectiveAccumulator::Build when the
+//    store has no holes, bitwise against RebuildFromScratch always, and
+//    within 1 ulp per coefficient of the dense offline build after deletes
+//    punch holes in the shard packing.
+//  - An insert-then-delete round trip restores the previous accumulator
+//    state exactly (bitwise), not just approximately.
+//  - serve::BudgetAccountant's reserve/commit/abort ledger balances exactly
+//    under concurrent hammering, and a rejected or aborted request consumes
+//    no budget.
+//  - serve::Service responses — including released model coefficients — are
+//    bit-identical across thread counts for a fixed request log.
+//  - Every baseline trainer rejects invalid ε uniformly (the
+//    dp::ValidateEpsilon audit).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/dpme.h"
+#include "baselines/filter_priority.h"
+#include "baselines/fm_algorithm.h"
+#include "baselines/objective_perturbation.h"
+#include "baselines/output_perturbation.h"
+#include "common/rng.h"
+#include "common/ulp.h"
+#include "core/objective_accumulator.h"
+#include "exec/thread_pool.h"
+#include "opt/logistic_loss.h"
+#include "serve/budget_accountant.h"
+#include "serve/incremental_objective.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+
+namespace fm {
+namespace {
+
+uint64_t MaxUlpDistance(const opt::QuadraticModel& a,
+                        const opt::QuadraticModel& b) {
+  EXPECT_EQ(a.dim(), b.dim());
+  uint64_t worst = UlpDistance(a.beta, b.beta);
+  for (size_t i = 0; i < a.dim(); ++i) {
+    worst = std::max(worst, UlpDistance(a.alpha[i], b.alpha[i]));
+    for (size_t j = 0; j < a.dim(); ++j) {
+      worst = std::max(worst, UlpDistance(a.m(i, j), b.m(i, j)));
+    }
+  }
+  return worst;
+}
+
+void ExpectBitwiseEqual(const opt::QuadraticModel& a,
+                        const opt::QuadraticModel& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  EXPECT_EQ(MaxUlpDistance(a, b), 0u);
+}
+
+data::RegressionDataset MakeDataset(size_t n, size_t d, bool binary,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  data::RegressionDataset ds;
+  ds.x = linalg::Matrix(n, d);
+  ds.y = linalg::Vector(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t i = 0; i < n; ++i) {
+    double z = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      ds.x(i, j) = rng.Uniform(-scale, scale);
+      z += (j % 2 ? -3.0 : 3.0) * ds.x(i, j);
+    }
+    ds.y[i] = binary ? (rng.Bernoulli(opt::Sigmoid(z)) ? 1.0 : 0.0)
+                     : std::clamp(z + rng.Gaussian(0.0, 0.1), -1.0, 1.0);
+  }
+  return ds;
+}
+
+serve::IncrementalObjective StoreFromDataset(
+    const data::RegressionDataset& ds, core::ObjectiveKind kind) {
+  serve::IncrementalObjective store(ds.dim(), kind);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    auto slot = store.Insert(ds.x.Row(i), ds.dim(), ds.y[i]);
+    EXPECT_TRUE(slot.ok()) << slot.status().ToString();
+    EXPECT_EQ(slot.ValueOrDie(), i);
+  }
+  return store;
+}
+
+// --------------------------------------------------------------------------
+// IncrementalObjective
+// --------------------------------------------------------------------------
+
+TEST(IncrementalObjective, DenseStoreMatchesOfflineBuildBitwise) {
+  // 2500 rows span three 1024-row shards, including a ragged tail.
+  const auto ds = MakeDataset(2500, 6, false, 7);
+  const auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+  const auto offline =
+      core::ObjectiveAccumulator::Build(ds, core::ObjectiveKind::kLinear);
+  // No holes → identical shard packing → identical bits, even though the
+  // store accumulated tuple-at-a-time and Build in batches of 4.
+  ExpectBitwiseEqual(store.Objective(), offline.Global());
+}
+
+TEST(IncrementalObjective, LogisticKindMatchesOfflineBuildBitwise) {
+  const auto ds = MakeDataset(1500, 5, true, 11);
+  const auto store =
+      StoreFromDataset(ds, core::ObjectiveKind::kTruncatedLogistic);
+  const auto offline = core::ObjectiveAccumulator::Build(
+      ds, core::ObjectiveKind::kTruncatedLogistic);
+  ExpectBitwiseEqual(store.Objective(), offline.Global());
+}
+
+TEST(IncrementalObjective, InsertBatchBitIdenticalToSequentialInserts) {
+  const auto ds = MakeDataset(3000, 6, false, 13);
+  const auto sequential = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool8(8);
+  serve::IncrementalObjective batched1(ds.dim(),
+                                       core::ObjectiveKind::kLinear);
+  serve::IncrementalObjective batched8(ds.dim(),
+                                       core::ObjectiveKind::kLinear);
+  ASSERT_TRUE(batched1.InsertBatch(ds, &pool1).ok());
+  ASSERT_TRUE(batched8.InsertBatch(ds, &pool8).ok());
+
+  ExpectBitwiseEqual(batched1.Objective(), sequential.Objective());
+  ExpectBitwiseEqual(batched8.Objective(), sequential.Objective());
+}
+
+TEST(IncrementalObjective, InsertThenDeleteRoundTripRestoresBitsExactly) {
+  const auto ds = MakeDataset(2200, 6, false, 17);
+  auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+  const opt::QuadraticModel before = store.Objective();
+
+  linalg::Vector extra(6);
+  Rng rng(99);
+  for (auto& v : extra) v = rng.Uniform(-0.3, 0.3);
+  const auto slot = store.Insert(extra, 0.5);
+  ASSERT_TRUE(slot.ok());
+  // The insert must actually change the objective...
+  EXPECT_NE(MaxUlpDistance(before, store.Objective()), 0u);
+  // ...and deleting it must restore the exact previous bits: the per-shard
+  // recompute policy rebuilds the shard to the compensated in-order sum of
+  // its live tuples, which is precisely the pre-insert state.
+  ASSERT_TRUE(store.Delete(slot.ValueOrDie()).ok());
+  ExpectBitwiseEqual(before, store.Objective());
+  EXPECT_EQ(store.live_size(), ds.size());
+}
+
+TEST(IncrementalObjective, DeletedStoreWithinOneUlpOfDenseRebuild) {
+  const auto ds = MakeDataset(2600, 6, false, 19);
+  auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+  // Punch holes across different shards, including shard 0.
+  for (const uint64_t slot : {3u, 1500u, 1023u, 2047u, 2599u}) {
+    ASSERT_TRUE(store.Delete(slot).ok());
+  }
+  ASSERT_EQ(store.live_size(), ds.size() - 5);
+
+  // Bitwise: a full recompute from raw tuples with the same slot layout.
+  ExpectBitwiseEqual(store.Objective(),
+                     store.RebuildFromScratch().Objective());
+
+  // ≤ 1 ulp: the canonical dense offline build repacks the survivors into
+  // different shards, so bits may differ, but both are compensated faithful
+  // summations of the same tuple multiset.
+  const auto dense = core::ObjectiveAccumulator::Build(
+      store.Materialize(), core::ObjectiveKind::kLinear);
+  EXPECT_LE(MaxUlpDistance(store.Objective(), dense.Global()), 1u);
+}
+
+TEST(IncrementalObjective, UpdateRewritesTupleInPlace) {
+  const auto ds = MakeDataset(1100, 5, false, 23);
+  auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+
+  linalg::Vector replacement(5);
+  Rng rng(5);
+  for (auto& v : replacement) v = rng.Uniform(-0.4, 0.4);
+  ASSERT_TRUE(store.Update(700, replacement.raw(), 5, -0.25).ok());
+  EXPECT_EQ(store.live_size(), ds.size());
+
+  // Reference: the same dataset with row 700 replaced, inserted fresh.
+  data::RegressionDataset modified = ds;
+  modified.x.SetRow(700, replacement);
+  modified.y[700] = -0.25;
+  const auto reference =
+      StoreFromDataset(modified, core::ObjectiveKind::kLinear);
+  ExpectBitwiseEqual(store.Objective(), reference.Objective());
+}
+
+TEST(IncrementalObjective, ValidatesTheSection3Contract) {
+  serve::IncrementalObjective store(3, core::ObjectiveKind::kLinear);
+  const double unit[3] = {1.0, 0.0, 0.0};
+  const double big[3] = {0.9, 0.9, 0.9};  // ‖x‖ ≈ 1.56
+  const double nan_x[3] = {std::numeric_limits<double>::quiet_NaN(), 0, 0};
+
+  EXPECT_TRUE(store.Insert(unit, 3, 1.0).ok());
+  EXPECT_EQ(store.Insert(big, 3, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Insert(nan_x, 3, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Insert(unit, 3, 1.5).status().code(),
+            StatusCode::kInvalidArgument);  // label outside [−1, 1]
+  EXPECT_EQ(store.Insert(unit, 2, 0.0).status().code(),
+            StatusCode::kInvalidArgument);  // wrong dimensionality
+  EXPECT_EQ(store.live_size(), 1u);
+
+  serve::IncrementalObjective logistic(
+      3, core::ObjectiveKind::kTruncatedLogistic);
+  EXPECT_TRUE(logistic.Insert(unit, 3, 1.0).ok());
+  EXPECT_TRUE(logistic.Insert(unit, 3, 0.0).ok());
+  EXPECT_EQ(logistic.Insert(unit, 3, 0.5).status().code(),
+            StatusCode::kInvalidArgument);  // labels must be 0/1
+}
+
+TEST(IncrementalObjective, DeleteUnknownOrDeadSlotFails) {
+  serve::IncrementalObjective store(2, core::ObjectiveKind::kLinear);
+  const double x[2] = {0.5, 0.5};
+  ASSERT_TRUE(store.Insert(x, 2, 0.0).ok());
+  EXPECT_EQ(store.Delete(7).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.Delete(0).ok());
+  EXPECT_EQ(store.Delete(0).code(), StatusCode::kNotFound);  // double delete
+  EXPECT_EQ(store.Update(0, x, 2, 0.0).code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------------------
+// BudgetAccountant
+// --------------------------------------------------------------------------
+
+TEST(BudgetAccountant, RejectsInvalidEpsilonEverywhere) {
+  EXPECT_EQ(serve::BudgetAccountant::Create(0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(serve::BudgetAccountant::Create(-1.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(serve::BudgetAccountant::Create(
+                std::numeric_limits<double>::infinity())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  auto accountant = serve::BudgetAccountant::Create(1.0).ValueOrDie();
+  for (const double bad : {0.0, -0.5, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    EXPECT_EQ(accountant->Reserve(bad, "bad").status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(accountant->remaining_epsilon(), 1.0);
+}
+
+TEST(BudgetAccountant, ReserveCommitAbortLedger) {
+  auto accountant = serve::BudgetAccountant::Create(1.0).ValueOrDie();
+
+  // Reserve the Lemma-5 worst case, commit the actual spend.
+  const uint64_t r1 = accountant->Reserve(0.5, "train#1").ValueOrDie();
+  EXPECT_EQ(accountant->reserved_epsilon(), 0.5);
+  ASSERT_TRUE(accountant->Commit(r1, 0.25).ok());
+  EXPECT_EQ(accountant->spent_epsilon(), 0.25);
+  EXPECT_EQ(accountant->reserved_epsilon(), 0.0);
+  EXPECT_EQ(accountant->remaining_epsilon(), 0.75);
+
+  // An aborted reservation consumes nothing.
+  const uint64_t r2 = accountant->Reserve(0.75, "train#2").ValueOrDie();
+  ASSERT_TRUE(accountant->Abort(r2).ok());
+  EXPECT_EQ(accountant->spent_epsilon(), 0.25);
+  EXPECT_EQ(accountant->remaining_epsilon(), 0.75);
+
+  // Exhaustion: the reserve fails atomically and changes nothing.
+  const uint64_t r3 = accountant->Reserve(0.5, "train#3").ValueOrDie();
+  EXPECT_EQ(accountant->Reserve(0.5, "too much").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(accountant->reserved_epsilon(), 0.5);
+
+  // Over-committing is rejected and leaves the reservation pending.
+  EXPECT_EQ(accountant->Commit(r3, 0.75).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant->pending_reservations(), 1u);
+  ASSERT_TRUE(accountant->Commit(r3, 0.5).ok());
+
+  // Settled ids are gone.
+  EXPECT_EQ(accountant->Commit(r3, 0.1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(accountant->Abort(r1).code(), StatusCode::kNotFound);
+
+  EXPECT_EQ(accountant->spent_epsilon(), 0.75);
+  EXPECT_EQ(accountant->charges().size(), 2u);
+}
+
+TEST(BudgetAccountant, ConcurrentReserveCommitAbortBalancesExactly) {
+  // 1/1024 is exactly representable, so every ledger transition is exact
+  // arithmetic and the final balance must be EQ, not NEAR.
+  constexpr double kCharge = 1.0 / 1024.0;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 200;
+  auto accountant = serve::BudgetAccountant::Create(8.0).ValueOrDie();
+
+  std::vector<size_t> committed(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        auto reservation = accountant->Reserve(kCharge, "stress");
+        if (!reservation.ok()) continue;  // budget exhausted under race
+        if ((t + op) % 3 == 0) {
+          ASSERT_TRUE(accountant->Abort(reservation.ValueOrDie()).ok());
+        } else {
+          ASSERT_TRUE(
+              accountant->Commit(reservation.ValueOrDie(), kCharge).ok());
+          ++committed[t];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  size_t total_commits = 0;
+  for (const size_t c : committed) total_commits += c;
+  EXPECT_EQ(accountant->pending_reservations(), 0u);
+  EXPECT_EQ(accountant->reserved_epsilon(), 0.0);
+  EXPECT_EQ(accountant->spent_epsilon(),
+            static_cast<double>(total_commits) * kCharge);
+  EXPECT_EQ(accountant->charges().size(), total_commits);
+  EXPECT_EQ(accountant->spent_epsilon() + accountant->remaining_epsilon(),
+            accountant->total_epsilon());
+}
+
+// --------------------------------------------------------------------------
+// ModelRegistry
+// --------------------------------------------------------------------------
+
+TEST(ModelRegistry, VersionsAndSnapshotIsolation) {
+  serve::ModelRegistry registry(/*max_history=*/2);
+  EXPECT_EQ(registry.Latest(), nullptr);
+  EXPECT_EQ(registry.latest_version(), 0u);
+
+  serve::ModelSnapshot snapshot;
+  snapshot.algorithm = "FM";
+  snapshot.omega = linalg::Vector(2);
+  snapshot.omega[0] = 1.0;
+  EXPECT_EQ(registry.Publish(snapshot), 1u);
+  const auto v1 = registry.Latest();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+
+  snapshot.omega[0] = 2.0;
+  EXPECT_EQ(registry.Publish(snapshot), 2u);
+  snapshot.omega[0] = 3.0;
+  EXPECT_EQ(registry.Publish(snapshot), 3u);
+
+  // Version 1 was evicted (history 2) but the held snapshot stays valid:
+  // reads are isolated from publishes and eviction.
+  EXPECT_EQ(registry.Get(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v1->omega[0], 1.0);
+  EXPECT_EQ(registry.Get(3).ValueOrDie()->omega[0], 3.0);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.latest_version(), 3u);
+}
+
+// --------------------------------------------------------------------------
+// Service
+// --------------------------------------------------------------------------
+
+std::vector<serve::Request> MixedLog(const data::RegressionDataset& extra,
+                                     size_t predicts) {
+  std::vector<serve::Request> log;
+  log.push_back(serve::Request::Train(serve::TrainerKind::kFunctionalMechanism,
+                                      0.8));
+  for (size_t i = 0; i < extra.size(); ++i) {
+    log.push_back(serve::Request::Insert(extra.x.RowVector(i), extra.y[i]));
+  }
+  log.push_back(serve::Request::Delete(3));
+  log.push_back(
+      serve::Request::Train(serve::TrainerKind::kFunctionalMechanism, 0.6));
+  for (size_t i = 0; i < predicts; ++i) {
+    log.push_back(serve::Request::Predict(extra.x.RowVector(i % extra.size())));
+  }
+  log.push_back(serve::Request::Train(serve::TrainerKind::kTruncated, 0.0));
+  log.push_back(serve::Request::Evaluate());
+  return log;
+}
+
+TEST(Service, FixedLogIsBitIdenticalAcrossThreadCounts) {
+  const auto initial = MakeDataset(1800, 5, false, 31);
+  const auto extra = MakeDataset(64, 5, false, 37);
+  const auto log = MixedLog(extra, 40);
+
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool8(8);
+  auto run = [&](exec::ThreadPool* pool) {
+    serve::ServiceOptions options;
+    options.dim = 5;
+    options.task = data::TaskKind::kLinear;
+    options.total_epsilon = 4.0;
+    options.seed = 0xfeedbeef;
+    options.pool = pool;
+    auto service = serve::Service::Create(options).ValueOrDie();
+    EXPECT_TRUE(service->Bootstrap(initial).ok());
+    auto responses = service->ExecuteLog(log);
+    return std::make_pair(std::move(responses), service->registry().Latest());
+  };
+
+  const auto [responses1, latest1] = run(&pool1);
+  const auto [responses8, latest8] = run(&pool8);
+
+  ASSERT_EQ(responses1.size(), responses8.size());
+  for (size_t i = 0; i < responses1.size(); ++i) {
+    EXPECT_EQ(responses1[i].status, responses8[i].status) << "request " << i;
+    EXPECT_EQ(responses1[i].slot, responses8[i].slot) << "request " << i;
+    EXPECT_EQ(UlpDistance(responses1[i].value, responses8[i].value), 0u)
+        << "request " << i;
+    EXPECT_EQ(responses1[i].model_version, responses8[i].model_version);
+    EXPECT_EQ(responses1[i].epsilon_spent, responses8[i].epsilon_spent);
+  }
+
+  // The published coefficients themselves are bit-identical.
+  ASSERT_NE(latest1, nullptr);
+  ASSERT_NE(latest8, nullptr);
+  ASSERT_EQ(latest1->omega.size(), latest8->omega.size());
+  for (size_t j = 0; j < latest1->omega.size(); ++j) {
+    EXPECT_EQ(UlpDistance(latest1->omega[j], latest8->omega[j]), 0u);
+  }
+}
+
+TEST(Service, IncrementalModelMatchesScratchRetrainBitwise) {
+  // The acceptance check of examples/fm_service.cc in test form: after
+  // inserts and a delete, training from the incrementally-maintained
+  // objective equals training from a full recompute of the raw tuples
+  // (same slot layout, same noise substream) — bitwise, hence within the
+  // required 1 ulp.
+  const auto initial = MakeDataset(2100, 5, false, 41);
+  serve::ServiceOptions options;
+  options.dim = 5;
+  options.total_epsilon = 10.0;
+  auto service = serve::Service::Create(options).ValueOrDie();
+  ASSERT_TRUE(service->Bootstrap(initial).ok());
+
+  const auto extra = MakeDataset(32, 5, false, 43);
+  std::vector<serve::Request> log;
+  for (size_t i = 0; i < extra.size(); ++i) {
+    log.push_back(serve::Request::Insert(extra.x.RowVector(i), extra.y[i]));
+  }
+  log.push_back(serve::Request::Delete(17));
+  const uint64_t train_position = service->log_position() + log.size();
+  log.push_back(
+      serve::Request::Train(serve::TrainerKind::kFunctionalMechanism, 0.9));
+  const auto responses = service->ExecuteLog(log);
+  ASSERT_TRUE(responses.back().status.ok())
+      << responses.back().status.ToString();
+
+  // Scratch path: recompute the objective from the raw tuples and rerun the
+  // mechanism on the same Fork substream the service used.
+  const auto scratch = service->objective().RebuildFromScratch();
+  core::FmOptions fm_options;
+  fm_options.epsilon = 0.9;
+  Rng rng(Rng::Fork(options.seed, train_position));
+  const auto trained = baselines::FmAlgorithm(fm_options)
+                           .TrainFromObjective(scratch.Objective(),
+                                               data::TaskKind::kLinear, rng);
+  ASSERT_TRUE(trained.ok());
+
+  const auto served = service->registry().Latest();
+  ASSERT_NE(served, nullptr);
+  ASSERT_EQ(served->omega.size(), trained.ValueOrDie().omega.size());
+  for (size_t j = 0; j < served->omega.size(); ++j) {
+    EXPECT_EQ(
+        UlpDistance(served->omega[j], trained.ValueOrDie().omega[j]), 0u);
+  }
+  EXPECT_EQ(served->trained_on, initial.size() + extra.size() - 1);
+}
+
+TEST(Service, BudgetGovernsTrainRequests) {
+  const auto initial = MakeDataset(600, 4, false, 47);
+  serve::ServiceOptions options;
+  options.dim = 4;
+  options.total_epsilon = 1.0;
+  auto service = serve::Service::Create(options).ValueOrDie();
+  ASSERT_TRUE(service->Bootstrap(initial).ok());
+
+  std::vector<serve::Request> log;
+  log.push_back(serve::Request::Train(
+      serve::TrainerKind::kFunctionalMechanism, 0.4));
+  log.push_back(serve::Request::Train(
+      serve::TrainerKind::kFunctionalMechanism, 0.4));
+  // Exceeds the remaining 0.2: must fail and consume nothing.
+  log.push_back(serve::Request::Train(
+      serve::TrainerKind::kFunctionalMechanism, 0.4));
+  // Invalid ε: rejected before touching the ledger.
+  log.push_back(serve::Request::Train(
+      serve::TrainerKind::kFunctionalMechanism, -1.0));
+  // Non-private training is free and still works after exhaustion.
+  log.push_back(serve::Request::Train(serve::TrainerKind::kNoPrivacy, 0.0));
+
+  const auto responses = service->ExecuteLog(log);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_TRUE(responses[1].status.ok());
+  EXPECT_EQ(responses[2].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(responses[3].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(responses[4].status.ok());
+
+  const auto& accountant = service->accountant();
+  EXPECT_EQ(accountant.spent_epsilon(), 0.8);
+  EXPECT_EQ(accountant.reserved_epsilon(), 0.0);
+  EXPECT_EQ(accountant.pending_reservations(), 0u);
+  EXPECT_EQ(accountant.charges().size(), 2u);
+  EXPECT_EQ(responses[0].epsilon_spent, 0.4);
+  // The non-private model is published but charged nothing.
+  EXPECT_EQ(responses[4].epsilon_spent, 0.0);
+  EXPECT_EQ(service->registry().size(), 3u);
+}
+
+TEST(Service, EdgeRequestsReportPerRequestErrors) {
+  serve::ServiceOptions options;
+  options.dim = 3;
+  auto service = serve::Service::Create(options).ValueOrDie();
+
+  std::vector<serve::Request> log;
+  log.push_back(serve::Request::Predict(linalg::Vector(3)));  // no model yet
+  log.push_back(serve::Request::Train(
+      serve::TrainerKind::kFunctionalMechanism, 0.5));  // empty store
+  log.push_back(serve::Request::Evaluate());            // no model
+  log.push_back(serve::Request::Delete(0));             // nothing to delete
+  const auto responses = service->ExecuteLog(log);
+  EXPECT_EQ(responses[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(responses[2].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(responses[3].status.code(), StatusCode::kNotFound);
+  // A failed train on an empty store touched no budget.
+  EXPECT_EQ(service->accountant().spent_epsilon(), 0.0);
+
+  EXPECT_EQ(serve::Service::Create(serve::ServiceOptions{}).status().code(),
+            StatusCode::kInvalidArgument);  // dim = 0
+}
+
+TEST(Service, ConcurrentEnqueueThenDrainServesEveryRequest) {
+  const auto initial = MakeDataset(900, 4, false, 53);
+  serve::ServiceOptions options;
+  options.dim = 4;
+  options.total_epsilon = 8.0;
+  auto service = serve::Service::Create(options).ValueOrDie();
+  ASSERT_TRUE(service->Bootstrap(initial).ok());
+  ASSERT_TRUE(
+      service
+          ->ExecuteLog({serve::Request::Train(serve::TrainerKind::kTruncated,
+                                              0.0)})[0]
+          .status.ok());
+
+  constexpr size_t kThreads = 6;
+  constexpr size_t kPerThread = 50;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        linalg::Vector x(4);
+        for (auto& v : x) v = rng.Uniform(-0.4, 0.4);
+        if (i % 4 == 0) {
+          service->Enqueue(serve::Request::Insert(x, rng.Uniform(-1.0, 1.0)));
+        } else {
+          service->Enqueue(serve::Request::Predict(std::move(x)));
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  const auto responses = service->Drain();
+  ASSERT_EQ(responses.size(), kThreads * kPerThread);
+  for (const auto& response : responses) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  EXPECT_EQ(service->objective().live_size(),
+            initial.size() + kThreads * ((kPerThread + 3) / 4));
+}
+
+// --------------------------------------------------------------------------
+// The ε-validation audit across the baseline trainers.
+// --------------------------------------------------------------------------
+
+TEST(EpsilonValidation, EveryBaselineRejectsInvalidEpsilonUniformly) {
+  const auto linear = MakeDataset(64, 3, false, 59);
+  const auto logistic = MakeDataset(64, 3, true, 61);
+
+  for (const double bad : {0.0, -0.8, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    Rng rng(7);
+
+    core::FmOptions fm_options;
+    fm_options.epsilon = bad;
+    EXPECT_EQ(baselines::FmAlgorithm(fm_options)
+                  .Train(linear, data::TaskKind::kLinear, rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "FM, epsilon=" << bad;
+
+    baselines::Dpme::Options dpme_options;
+    dpme_options.epsilon = bad;
+    EXPECT_EQ(baselines::Dpme(dpme_options)
+                  .Train(linear, data::TaskKind::kLinear, rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "DPME, epsilon=" << bad;
+
+    baselines::FilterPriority::Options fp_options;
+    fp_options.epsilon = bad;
+    EXPECT_EQ(baselines::FilterPriority(fp_options)
+                  .Train(linear, data::TaskKind::kLinear, rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "FP, epsilon=" << bad;
+
+    baselines::ObjectivePerturbation::Options op_options;
+    op_options.epsilon = bad;
+    EXPECT_EQ(baselines::ObjectivePerturbation(op_options)
+                  .Train(logistic, data::TaskKind::kLogistic, rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "ObjectivePerturbation, epsilon=" << bad;
+
+    baselines::OutputPerturbation::Options out_options;
+    out_options.epsilon = bad;
+    EXPECT_EQ(baselines::OutputPerturbation(out_options)
+                  .Train(logistic, data::TaskKind::kLogistic, rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "OutputPerturbation, epsilon=" << bad;
+  }
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,21 +1,31 @@
 #!/usr/bin/env python3
-"""Blocked-vs-reference kernel benchmark harness.
+"""Benchmark harness with two modes.
 
-Runs ``micro_substrates`` twice — once with the blocked kernel layer
-(``FM_BLOCKED_LINALG=1``, the default) and once with the scalar reference
-implementations (``FM_BLOCKED_LINALG=0``) — and writes the per-benchmark
-timings and speedups to ``BENCH_linalg.json``. Both runs execute the same
-binary on the same inputs and, by the kernel layer's bit-identity contract
-(src/linalg/kernels.h), produce the same numerical results; only the time
-differs.
+``--mode linalg`` (the default) runs ``micro_substrates`` twice — once with
+the blocked kernel layer (``FM_BLOCKED_LINALG=1``, the default) and once
+with the scalar reference implementations (``FM_BLOCKED_LINALG=0``) — and
+writes the per-benchmark timings and speedups to ``BENCH_linalg.json``.
+Both runs execute the same binary on the same inputs and, by the kernel
+layer's bit-identity contract (src/linalg/kernels.h), produce the same
+numerical results; only the time differs. Requires Google Benchmark.
+
+``--mode serve`` runs ``bench_serve`` (self-contained timer — no Google
+Benchmark needed) and re-emits its report as ``BENCH_serve.json``: service
+throughput (ingest / predict / mixed requests per second) and
+ingest-to-fresh-model latency, incremental objective maintenance vs full
+retrain-from-scratch.
 
 Usage:
-    python3 tools/run_bench.py [--build-dir build] [--out BENCH_linalg.json]
-                               [--smoke] [--gate] [--filter REGEX]
+    python3 tools/run_bench.py [--mode linalg|serve] [--build-dir build]
+                               [--out FILE] [--smoke] [--gate]
+                               [--filter REGEX]
 
-``--smoke`` shortens the per-benchmark measurement time for CI.
-``--gate`` exits non-zero if the blocked kernels are slower than the scalar
-reference on any GEMM of size >= 256 (the CI Release perf gate).
+``--smoke`` shortens measurement (fewer repetitions / smaller request
+volumes) for CI; the serve dataset size stays at the gate's n = 1e5.
+``--gate`` exits non-zero when the perf contract is violated: in linalg
+mode, blocked kernels slower than the scalar reference on any GEMM of size
+>= 256; in serve mode, incremental retrain slower than a full rebuild at
+n >= 1e5.
 """
 
 import argparse
@@ -34,6 +44,10 @@ DEFAULT_FILTER = (
 
 GATE_PATTERN = re.compile(r"^BM_MatMul/(\d+)$")
 GATE_MIN_SIZE = 256
+
+# The serve gate only binds at scale: below this n a full rebuild is cheap
+# enough that scheduling noise could dominate the comparison.
+SERVE_GATE_MIN_N = 100000
 
 
 def resolve_min_time_arg(binary, min_time):
@@ -92,18 +106,72 @@ def median_times(report):
     return out
 
 
+def run_serve_mode(args):
+    binary = os.path.join(args.build_dir, "bench_serve")
+    if not os.path.exists(binary):
+        raise SystemExit(
+            f"{binary} not found — build it first (cmake -B build -S . && "
+            "cmake --build build -j); bench_serve needs no Google Benchmark")
+
+    out = args.out if args.out else "BENCH_serve.json"
+    # Repeats: explicit --repetitions wins, else 3 for --smoke, else
+    # bench_serve's built-in default (7).
+    repeats = args.repetitions if args.repetitions is not None else (
+        3 if args.smoke else None)
+    cmd = [binary, "--out", out, "--n", str(SERVE_GATE_MIN_N)]
+    if repeats is not None:
+        cmd += ["--repeats", str(repeats)]
+    if args.smoke:
+        cmd += ["--ingest", "5000", "--predicts", "5000", "--mixed", "5000"]
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        raise SystemExit("bench_serve failed")
+
+    with open(out) as f:
+        report = json.load(f)
+    print(f"\nwrote {out}")
+
+    if args.gate:
+        n = report["n"]
+        incremental = report["incremental_retrain_seconds"]
+        rebuild = report["full_rebuild_seconds"]
+        if n < SERVE_GATE_MIN_N:
+            raise SystemExit(
+                f"--gate needs n >= {SERVE_GATE_MIN_N}, got {n}")
+        if incremental > rebuild:
+            print(f"GATE FAILURE: incremental retrain ({incremental:.6f}s) "
+                  f"is slower than a full rebuild ({rebuild:.6f}s) at "
+                  f"n={n}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"gate passed: incremental retrain beats full rebuild at "
+              f"n={n} ({report['incremental_vs_full_speedup']:.2f}x)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=["linalg", "serve"],
+                        default="linalg")
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_linalg.json")
+    parser.add_argument("--out", default=None,
+                        help="output JSON (default: BENCH_<mode>.json)")
     parser.add_argument("--filter", default=DEFAULT_FILTER)
     parser.add_argument("--smoke", action="store_true",
-                        help="short per-benchmark measurement time (CI)")
-    parser.add_argument("--repetitions", type=int, default=3)
+                        help="short measurement for CI")
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="measurement repetitions (default: 3 in linalg "
+                             "mode, bench_serve's default in serve mode)")
     parser.add_argument("--gate", action="store_true",
-                        help="fail if blocked is slower than the reference "
-                             f"on GEMM >= {GATE_MIN_SIZE}^2")
+                        help="fail on perf-contract violation (see module "
+                             "docstring)")
     args = parser.parse_args()
+
+    if args.mode == "serve":
+        run_serve_mode(args)
+        return
+    if args.out is None:
+        args.out = "BENCH_linalg.json"
+    if args.repetitions is None:
+        args.repetitions = 3
 
     binary = os.path.join(args.build_dir, "micro_substrates")
     if not os.path.exists(binary):
