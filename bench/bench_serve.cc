@@ -1,16 +1,19 @@
-// Serving-layer benchmark: sustained request throughput and
-// ingest-to-fresh-model latency of serve::Service, incremental maintenance
-// vs full retrain-from-scratch.
+// Serving-layer benchmark: sustained request throughput,
+// ingest-to-fresh-model latency of serve::Service (incremental maintenance
+// vs full retrain-from-scratch), and the slot-space compaction contract
+// under a 10:1 insert:live churn — post-compaction resident slots must
+// equal the live count and Objective() must cost what a fresh store of the
+// same live tuples costs (gated at ≤ 1.5× in tools/run_bench.py).
 //
 // Deliberately self-contained (eval::Stopwatch + median-over-repeats, no
-// Google Benchmark) so these numbers — and the CI gate that incremental
-// retrain never loses to a full rebuild at n ≥ 1e5 — exist on machines
-// without libbenchmark-dev. tools/run_bench.py --mode serve drives it and
-// re-emits BENCH_serve.json as a CI artifact.
+// Google Benchmark) so these numbers — and the CI gates — exist on
+// machines without libbenchmark-dev. tools/run_bench.py --mode serve
+// drives it and re-emits BENCH_serve.json as a CI artifact.
 //
 // Usage:
 //   bench_serve [--n 100000] [--dim 10] [--repeats 7] [--ingest 20000]
-//               [--predicts 20000] [--mixed 10000] [--out BENCH_serve.json]
+//               [--predicts 20000] [--mixed 10000] [--churn-live 4000]
+//               [--out BENCH_serve.json]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -74,6 +77,7 @@ struct Flags {
   size_t ingest = 20000;
   size_t predicts = 20000;
   size_t mixed = 10000;
+  size_t churn_live = 4000;
   std::string out = "BENCH_serve.json";
 };
 
@@ -101,6 +105,9 @@ Flags ParseFlags(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--mixed") {
       flags.mixed = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--churn-live") {
+      flags.churn_live =
+          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--out") {
       flags.out = next();
     } else {
@@ -251,6 +258,100 @@ int main(int argc, char** argv) {
   const double speedup = rebuild_median / incremental_median;
   const size_t live = service->objective().live_size();
 
+  // --- slot-space compaction under 10:1 insert:live churn -----------------
+  // A second service with auto-compaction disabled absorbs churn_live · 10
+  // inserts while seeded-random deletes hold the live set at churn_live, so
+  // the un-compacted worst case — slot space and Objective() cost growing
+  // with total insert history — is visible before one explicit Compact
+  // request collapses it back to O(live). Uniform-random victims leave the
+  // realistic mixed regime: the oldest shards decay to fully dead (the
+  // dead-shard skip already absorbs those), but most shards keep a few
+  // ghost-surviving tuples — and one survivor keeps a shard's whole O(d²)
+  // fold — so the pre-compaction number shows the degradation that only
+  // compaction, not the skip, can remove.
+  const size_t churn_inserts = flags.churn_live * 10;
+  serve::ServiceOptions churn_options = options;
+  churn_options.auto_compact = false;
+  auto churn_service = serve::Service::Create(churn_options).ValueOrDie();
+  const data::RegressionDataset churn_stream =
+      RandomDataset(churn_inserts, flags.dim, 3);
+  Rng victims(4);
+  std::vector<uint64_t> live_ids;
+  live_ids.reserve(flags.churn_live + 1);
+  std::vector<serve::Request> churn_log;
+  churn_log.reserve(2 * churn_inserts);
+  for (size_t i = 0; i < churn_inserts; ++i) {
+    churn_log.push_back(
+        serve::Request::Insert(churn_stream.x.RowVector(i),
+                               churn_stream.y[i]));
+    live_ids.push_back(i);
+    while (live_ids.size() > flags.churn_live) {
+      const size_t pick =
+          static_cast<size_t>(victims.UniformInt(live_ids.size()));
+      churn_log.push_back(serve::Request::Delete(live_ids[pick]));
+      live_ids[pick] = live_ids.back();
+      live_ids.pop_back();
+    }
+  }
+  watch.Reset();
+  auto churn_responses = churn_service->ExecuteLog(churn_log);
+  const double churn_seconds = watch.Seconds();
+  if (!AllOk(churn_responses, "churn")) return 1;
+  const double churn_rps =
+      static_cast<double>(churn_log.size()) / churn_seconds;
+
+  // Objective() derivation is O(shards · d²) — microseconds — so time a
+  // fixed-count loop per repeat and report the median per-call cost.
+  const auto time_objective = [&](const serve::IncrementalObjective& store) {
+    constexpr size_t kCalls = 512;
+    std::vector<double> seconds;
+    seconds.reserve(flags.repeats);
+    for (size_t r = 0; r < flags.repeats; ++r) {
+      eval::Stopwatch loop_watch;
+      for (size_t c = 0; c < kCalls; ++c) {
+        volatile double sink = store.Objective().beta;
+        (void)sink;
+      }
+      seconds.push_back(loop_watch.Seconds() / kCalls);
+    }
+    return Median(seconds);
+  };
+
+  const size_t churn_slots_before = churn_service->objective().slot_count();
+  const size_t churn_shards_before = churn_service->objective().num_shards();
+  const double churn_objective_pre =
+      time_objective(churn_service->objective());
+
+  const auto compact_responses =
+      churn_service->ExecuteLog({serve::Request::Compact()});
+  if (!AllOk(compact_responses, "compact")) return 1;
+  const size_t churn_reclaimed =
+      static_cast<size_t>(compact_responses[0].value);
+  const size_t churn_slots_after = churn_service->objective().slot_count();
+  const size_t churn_shards_after = churn_service->objective().num_shards();
+  const double churn_objective_post =
+      time_objective(churn_service->objective());
+
+  // Fresh reference: a store fed only the surviving tuples, in order. The
+  // compaction contract says the compacted store IS this store, bit for
+  // bit — checked here so the perf gate can never pass on a wrong store.
+  serve::IncrementalObjective fresh_store(
+      flags.dim, core::ObjectiveKindForTask(options.task));
+  if (!fresh_store.InsertBatch(churn_service->objective().Materialize())
+           .ok()) {
+    std::fprintf(stderr, "churn: fresh reference store rejected tuples\n");
+    return 1;
+  }
+  if (!churn_service->objective().StoreStateBitwiseEquals(fresh_store)) {
+    std::fprintf(stderr,
+                 "churn: post-compaction store is NOT bitwise equal to a "
+                 "fresh store of the live tuples\n");
+    return 1;
+  }
+  const double churn_objective_fresh = time_objective(fresh_store);
+  const double churn_post_vs_fresh =
+      churn_objective_post / churn_objective_fresh;
+
   std::printf("\n%-34s %14s\n", "metric", "value");
   std::printf("%-34s %11.0f /s\n", "bootstrap rows", bootstrap_rows_per_sec);
   std::printf("%-34s %11.0f /s\n", "ingest requests", ingest_rps);
@@ -261,6 +362,19 @@ int main(int argc, char** argv) {
   std::printf("%-34s %12.3f ms\n", "ingest->fresh model (full rebuild)",
               rebuild_median * 1e3);
   std::printf("%-34s %12.2fx\n", "incremental vs full rebuild", speedup);
+  std::printf("%-34s %11.0f /s\n", "churn requests", churn_rps);
+  std::printf("%-34s %8zu -> %zu\n", "churn slots (compaction)",
+              churn_slots_before, churn_slots_after);
+  std::printf("%-34s %8zu -> %zu\n", "churn shards (compaction)",
+              churn_shards_before, churn_shards_after);
+  std::printf("%-34s %12.3f us\n", "objective, pre-compaction",
+              churn_objective_pre * 1e6);
+  std::printf("%-34s %12.3f us\n", "objective, post-compaction",
+              churn_objective_post * 1e6);
+  std::printf("%-34s %12.3f us\n", "objective, fresh store",
+              churn_objective_fresh * 1e6);
+  std::printf("%-34s %12.2fx\n", "objective post vs fresh",
+              churn_post_vs_fresh);
 
   if (!flags.out.empty()) {
     std::FILE* f = std::fopen(flags.out.c_str(), "w");
@@ -270,9 +384,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"description\": \"serve::Service throughput and "
-                 "ingest-to-fresh-model latency; incremental objective "
-                 "maintenance vs full retrain-from-scratch (medians over "
+                 "  \"description\": \"serve::Service throughput, "
+                 "ingest-to-fresh-model latency (incremental objective "
+                 "maintenance vs full retrain-from-scratch), and slot-space "
+                 "compaction under 10:1 insert:live churn (medians over "
                  "repeats, self-contained timer)\",\n"
                  "  \"n\": %zu,\n"
                  "  \"dim\": %zu,\n"
@@ -285,11 +400,29 @@ int main(int argc, char** argv) {
                  "  \"mixed_requests_per_sec\": %.1f,\n"
                  "  \"incremental_retrain_seconds\": %.9f,\n"
                  "  \"full_rebuild_seconds\": %.9f,\n"
-                 "  \"incremental_vs_full_speedup\": %.3f\n"
+                 "  \"incremental_vs_full_speedup\": %.3f,\n"
+                 "  \"churn_total_inserts\": %zu,\n"
+                 "  \"churn_live_tuples\": %zu,\n"
+                 "  \"churn_requests_per_sec\": %.1f,\n"
+                 "  \"churn_slots_reclaimed\": %zu,\n"
+                 "  \"churn_slots_before_compaction\": %zu,\n"
+                 "  \"churn_slots_after_compaction\": %zu,\n"
+                 "  \"churn_shards_before_compaction\": %zu,\n"
+                 "  \"churn_shards_after_compaction\": %zu,\n"
+                 "  \"churn_objective_pre_compaction_seconds\": %.9f,\n"
+                 "  \"churn_objective_post_compaction_seconds\": %.9f,\n"
+                 "  \"churn_objective_fresh_seconds\": %.9f,\n"
+                 "  \"churn_post_vs_fresh_ratio\": %.3f,\n"
+                 "  \"churn_compacted_bitwise_equals_fresh\": true\n"
                  "}\n",
                  flags.n, flags.dim, live, threads, flags.repeats,
                  bootstrap_rows_per_sec, ingest_rps, predict_rps, mixed_rps,
-                 incremental_median, rebuild_median, speedup);
+                 incremental_median, rebuild_median, speedup, churn_inserts,
+                 flags.churn_live, churn_rps, churn_reclaimed,
+                 churn_slots_before, churn_slots_after, churn_shards_before,
+                 churn_shards_after, churn_objective_pre,
+                 churn_objective_post, churn_objective_fresh,
+                 churn_post_vs_fresh);
     std::fclose(f);
     std::printf("\nwrote %s\n", flags.out.c_str());
   }

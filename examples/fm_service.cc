@@ -10,7 +10,13 @@
 //   2. The privacy ledger balances exactly: spent = Σ committed charges,
 //      total = spent + remaining, and nothing is pending when the log ends.
 //   3. Serving is deterministic: rerunning this binary reproduces every
-//      byte (training randomness comes from the request's log position).
+//      byte (training randomness comes from the request's log position) —
+//      and every byte is identical across FM_THREADS / FM_BLOCKED_LINALG
+//      (diffed in CI).
+//   4. Compaction is invisible to clients: after a burst of deletes, one
+//      Request::Compact collapses the slot space to exactly the live
+//      count, the store comes out bit-identical to a fresh store fed the
+//      live tuples in order, and previously issued tuple ids keep working.
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j --target fm_service
@@ -99,8 +105,8 @@ int main() {
   for (size_t i = 0; i < 100; ++i) {
     log.push_back(serve::Request::Predict(stream.x.RowVector(i)));
   }
-  const uint64_t doomed_slot = 123;  // one of the bootstrapped tuples
-  log.push_back(serve::Request::Delete(doomed_slot));
+  const uint64_t doomed_id = 123;  // one of the bootstrapped tuples
+  log.push_back(serve::Request::Delete(doomed_id));
   const uint64_t retrain_position = service->log_position() + log.size();
   log.push_back(
       serve::Request::Train(serve::TrainerKind::kFunctionalMechanism, 0.8));
@@ -192,6 +198,62 @@ int main() {
               "spent + remaining == total (nothing leaked)");
   ok &= Check(accountant.pending_reservations() == 0,
               "no reservation left pending");
+
+  // 6. Slot-space compaction. A burst of deletes punches holes; one
+  //    explicit Compact request collapses the slot space back to the live
+  //    count. Placed after the final train so the released coefficients
+  //    above are untouched — though by the determinism contract the
+  //    compaction itself is bit-stable at any log position.
+  std::printf("\nslot-space compaction:\n");
+  const size_t live_before = service->objective().live_size();
+  std::vector<serve::Request> churn;
+  const uint64_t first_stream_id = base_size;  // ids are insert-ordered
+  for (uint64_t i = 0; i < 150; ++i) {
+    churn.push_back(serve::Request::Delete(first_stream_id + i));
+  }
+  churn.push_back(serve::Request::Compact());
+  const auto churn_responses = service->ExecuteLog(churn);
+  for (size_t i = 0; i < churn_responses.size(); ++i) {
+    if (!churn_responses[i].status.ok()) {
+      std::printf("churn request %zu failed: %s\n", i,
+                  churn_responses[i].status.ToString().c_str());
+      return 1;
+    }
+  }
+  const size_t reclaimed =
+      static_cast<size_t>(churn_responses.back().value);
+  std::printf("    deleted 150 tuples, compaction reclaimed %zu slots "
+              "(%zu live, %zu resident)\n",
+              reclaimed, service->objective().live_size(),
+              service->objective().slot_count());
+  // 150 fresh holes plus the one the earlier delete left behind.
+  ok &= Check(reclaimed == 151, "compaction reclaimed every dead slot");
+  ok &= Check(service->objective().slot_count() ==
+                  service->objective().live_size(),
+              "resident slot space equals the live count (O(live) memory)");
+  ok &= Check(service->objective().live_size() == live_before - 150,
+              "compaction dropped no live tuple");
+
+  serve::IncrementalObjective fresh_store(
+      dataset.dim(), core::ObjectiveKindForTask(options.task));
+  if (!fresh_store.InsertBatch(service->objective().Materialize()).ok()) {
+    return 1;
+  }
+  ok &= Check(service->objective().StoreStateBitwiseEquals(fresh_store),
+              "compacted store bitwise == fresh store fed the live tuples");
+  ok &= Check(MaxUlpDistance(service->objective().Objective(),
+                             fresh_store.Objective()) == 0,
+              "compacted objective bitwise == fresh store's objective");
+
+  // Ids issued before the compaction still resolve (the store remapped
+  // their slots underneath): scrub one more stream-era tuple.
+  const auto late_delete =
+      service->ExecuteLog({serve::Request::Delete(first_stream_id + 399)});
+  ok &= Check(late_delete[0].status.ok(),
+              "tuple ids issued before compaction remain valid");
+  ok &= Check(accountant.pending_reservations() == 0 &&
+                  accountant.spent_epsilon() == charged,
+              "compaction charged no privacy budget");
 
   std::printf("\n%s\n", ok ? "all serving-layer checks passed"
                            : "SERVING-LAYER CHECK FAILED");

@@ -1,6 +1,7 @@
 #include "serve/budget_accountant.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "dp/budget.h"
 
@@ -11,6 +12,15 @@ namespace {
 // Tolerates round-off when exhausting the budget or a reservation exactly
 // (matches dp::PrivacyAccountant's slack).
 constexpr double kSlack = 1e-12;
+
+// std::to_string renders doubles with 6 fixed decimals, which collapses
+// small ε values (1e-9 → "0.000000") in ledger diagnostics; %.17g
+// round-trips every double.
+std::string FormatEpsilon(double epsilon) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", epsilon);
+  return buf;
+}
 
 }  // namespace
 
@@ -28,8 +38,8 @@ Result<uint64_t> BudgetAccountant::Reserve(double epsilon,
   const double remaining = total_epsilon_ - spent_epsilon_ - reserved_epsilon_;
   if (epsilon > remaining + kSlack) {
     return Status::FailedPrecondition(
-        "privacy budget exhausted: requested " + std::to_string(epsilon) +
-        ", remaining " + std::to_string(remaining) + " (" + label + ")");
+        "privacy budget exhausted: requested " + FormatEpsilon(epsilon) +
+        ", remaining " + FormatEpsilon(remaining) + " (" + label + ")");
   }
   const uint64_t id = next_reservation_++;
   reserved_epsilon_ += epsilon;
@@ -47,8 +57,8 @@ Status BudgetAccountant::Commit(uint64_t reservation, double actual_epsilon) {
   }
   if (actual_epsilon > it->second.epsilon + kSlack) {
     return Status::InvalidArgument(
-        "commit of " + std::to_string(actual_epsilon) +
-        " exceeds the reserved " + std::to_string(it->second.epsilon) + " (" +
+        "commit of " + FormatEpsilon(actual_epsilon) +
+        " exceeds the reserved " + FormatEpsilon(it->second.epsilon) + " (" +
         it->second.label + ")");
   }
   reserved_epsilon_ -= it->second.epsilon;

@@ -14,6 +14,15 @@ namespace {
 // Matches data::RegressionDataset::SatisfiesNormalizationContract.
 constexpr double kContractTolerance = 1e-9;
 
+// Releases a vector's excess capacity after it has been trimmed: the
+// shrink-to-fit swap idiom, spelled out so compaction provably returns
+// memory to O(live) instead of relying on the non-binding
+// std::vector::shrink_to_fit.
+template <typename T>
+void ReleaseExcessCapacity(std::vector<T>& v) {
+  if (v.capacity() > v.size()) std::vector<T>(v).swap(v);
+}
+
 }  // namespace
 
 IncrementalObjective::IncrementalObjective(size_t dim,
@@ -59,23 +68,50 @@ Status IncrementalObjective::ValidateTuple(const double* x, size_t dim,
   return Status::OK();
 }
 
-uint64_t IncrementalObjective::AppendTuple(const double* x, double y) {
-  const uint64_t slot = ys_.size();
-  xs_.insert(xs_.end(), x, x + dim_);
-  ys_.push_back(y);
-  live_.push_back(1);
-  ++live_count_;
-  if (slot / core::kObjectiveShardRows >= shard_sums_.size()) {
-    shard_sums_.emplace_back(num_coefficients(), 0.0);
-    shard_comps_.emplace_back(num_coefficients(), 0.0);
+Result<size_t> IncrementalObjective::FindLiveSlot(TupleId id) const {
+  const auto it =
+      std::lower_bound(slot_to_id_.begin(), slot_to_id_.end(), id);
+  if (it == slot_to_id_.end() || *it != id) {
+    return Status::NotFound("no live tuple with id " + std::to_string(id));
+  }
+  const size_t slot = static_cast<size_t>(it - slot_to_id_.begin());
+  if (!live_[slot]) {
+    return Status::NotFound("no live tuple with id " + std::to_string(id));
   }
   return slot;
 }
 
-Result<uint64_t> IncrementalObjective::Insert(const double* x, size_t dim,
-                                              double y) {
+bool IncrementalObjective::Contains(TupleId id) const {
+  return FindLiveSlot(id).ok();
+}
+
+size_t IncrementalObjective::live_shards() const {
+  size_t count = 0;
+  for (const uint32_t live : shard_live_) count += live > 0 ? 1 : 0;
+  return count;
+}
+
+size_t IncrementalObjective::AppendTuple(const double* x, double y) {
+  const size_t slot = ys_.size();
+  xs_.insert(xs_.end(), x, x + dim_);
+  ys_.push_back(y);
+  live_.push_back(1);
+  slot_to_id_.push_back(next_id_++);
+  ++live_count_;
+  const size_t shard = slot / core::kObjectiveShardRows;
+  if (shard >= shard_sums_.size()) {
+    shard_sums_.emplace_back(num_coefficients(), 0.0);
+    shard_comps_.emplace_back(num_coefficients(), 0.0);
+    shard_live_.push_back(0);
+  }
+  ++shard_live_[shard];
+  return slot;
+}
+
+Result<TupleId> IncrementalObjective::Insert(const double* x, size_t dim,
+                                             double y) {
   FM_RETURN_NOT_OK(ValidateTuple(x, dim, y));
-  const uint64_t slot = AppendTuple(x, y);
+  const size_t slot = AppendTuple(x, y);
   const size_t shard = slot / core::kObjectiveShardRows;
   // Appending this tuple's compensated contribution is exactly the next
   // step of a from-scratch in-order accumulation of the shard's live slots
@@ -84,16 +120,22 @@ Result<uint64_t> IncrementalObjective::Insert(const double* x, size_t dim,
   core::AccumulateTupleContribution(kind_, xs_.data() + slot * dim_, dim_,
                                     ys_[slot], shard_sums_[shard].data(),
                                     shard_comps_[shard].data());
-  return slot;
+  return slot_to_id_[slot];
 }
 
-Result<uint64_t> IncrementalObjective::Insert(const linalg::Vector& x,
-                                              double y) {
+Result<TupleId> IncrementalObjective::Insert(const linalg::Vector& x,
+                                             double y) {
   return Insert(x.raw(), x.size(), y);
 }
 
-Result<uint64_t> IncrementalObjective::InsertBatch(
+Result<TupleId> IncrementalObjective::InsertBatch(
     const data::RegressionDataset& tuples, exec::ThreadPool* pool) {
+  // Rejecting the empty batch first keeps the error path obvious and
+  // guarantees the ys_.size() - 1 shard arithmetic below always runs on a
+  // non-empty store.
+  if (tuples.size() == 0) {
+    return Status::InvalidArgument("empty insert batch");
+  }
   // Validate everything before mutating anything, so a rejected batch
   // leaves the store untouched.
   for (size_t i = 0; i < tuples.size(); ++i) {
@@ -103,11 +145,8 @@ Result<uint64_t> IncrementalObjective::InsertBatch(
                                        status.message());
     }
   }
-  if (tuples.size() == 0) {
-    return Status::InvalidArgument("empty insert batch");
-  }
 
-  const uint64_t first = ys_.size();
+  const size_t first = ys_.size();
   for (size_t i = 0; i < tuples.size(); ++i) {
     AppendTuple(tuples.x.Row(i), tuples.y[i]);
   }
@@ -130,7 +169,7 @@ Result<uint64_t> IncrementalObjective::InsertBatch(
                             shard_comps_[shard].data());
       },
       pool != nullptr ? *pool : exec::ThreadPool::Global());
-  return first;
+  return slot_to_id_[first];
 }
 
 void IncrementalObjective::AccumulateSlotRange(size_t begin, size_t end,
@@ -171,15 +210,15 @@ void IncrementalObjective::RecomputeShard(size_t shard) {
                        shard_comps_[shard].data());
 }
 
-Status IncrementalObjective::Delete(uint64_t slot) {
-  if (slot >= ys_.size() || !live_[slot]) {
-    return Status::NotFound("no live tuple at slot " + std::to_string(slot));
-  }
+Status IncrementalObjective::Delete(TupleId id) {
+  FM_ASSIGN_OR_RETURN(const size_t slot, FindLiveSlot(id));
   live_[slot] = 0;
   --live_count_;
+  const size_t shard = slot / core::kObjectiveShardRows;
+  --shard_live_[shard];
   // Scrub the dead tuple's raw values — a deleted private record must not
-  // stay resident. The slot itself is retained (never reused or
-  // compacted), keeping every live slot id stable.
+  // stay resident. The slot itself is retained (ids stay stable) until the
+  // next compaction physically frees it.
   std::fill(xs_.begin() + static_cast<ptrdiff_t>(slot * dim_),
             xs_.begin() + static_cast<ptrdiff_t>((slot + 1) * dim_), 0.0);
   ys_[slot] = 0.0;
@@ -187,15 +226,13 @@ Status IncrementalObjective::Delete(uint64_t slot) {
   // returns to exactly the compensated in-order sum of its remaining live
   // tuples, keeping the invariant bitwise — see the class comment and
   // docs/DETERMINISM.md.
-  RecomputeShard(slot / core::kObjectiveShardRows);
+  RecomputeShard(shard);
   return Status::OK();
 }
 
-Status IncrementalObjective::Update(uint64_t slot, const double* x,
-                                    size_t dim, double y) {
-  if (slot >= ys_.size() || !live_[slot]) {
-    return Status::NotFound("no live tuple at slot " + std::to_string(slot));
-  }
+Status IncrementalObjective::Update(TupleId id, const double* x, size_t dim,
+                                    double y) {
+  FM_ASSIGN_OR_RETURN(const size_t slot, FindLiveSlot(id));
   FM_RETURN_NOT_OK(ValidateTuple(x, dim, y));
   std::memcpy(xs_.data() + slot * dim_, x, dim_ * sizeof(double));
   ys_[slot] = y;
@@ -203,13 +240,79 @@ Status IncrementalObjective::Update(uint64_t slot, const double* x,
   return Status::OK();
 }
 
+size_t IncrementalObjective::Compact(exec::ThreadPool* pool) {
+  const size_t old_slots = ys_.size();
+  if (old_slots == live_count_) {
+    // Dense already. A never-holed (or freshly compacted) store is by
+    // construction in the fresh-store layout; leaving it untouched keeps
+    // Compact() idempotent and bitwise a no-op.
+    return 0;
+  }
+  // Slide the survivors down in slot order. Relative order is preserved, so
+  // slot_to_id_ stays strictly increasing and every surviving id resolves.
+  size_t write = 0;
+  for (size_t slot = 0; slot < old_slots; ++slot) {
+    if (!live_[slot]) continue;
+    if (write != slot) {
+      std::memmove(xs_.data() + write * dim_, xs_.data() + slot * dim_,
+                   dim_ * sizeof(double));
+      ys_[write] = ys_[slot];
+      slot_to_id_[write] = slot_to_id_[slot];
+    }
+    ++write;
+  }
+  xs_.resize(write * dim_);
+  ys_.resize(write);
+  slot_to_id_.resize(write);
+  live_.assign(write, 1);
+  ReleaseExcessCapacity(xs_);
+  ReleaseExcessCapacity(ys_);
+  ReleaseExcessCapacity(slot_to_id_);
+  ReleaseExcessCapacity(live_);
+
+  // Rebuild every shard partial from scratch over the dense layout — the
+  // same per-shard serial accumulation a fresh store fed these tuples in
+  // order would have performed (shard boundaries depend only on the slot
+  // index, and the batch kernels are bit-identical to single-tuple calls in
+  // the same order), so the post-compaction state is bit-identical to that
+  // fresh store for every pool size.
+  const size_t shards =
+      (write + core::kObjectiveShardRows - 1) / core::kObjectiveShardRows;
+  shard_sums_.assign(shards, std::vector<double>(num_coefficients(), 0.0));
+  shard_comps_.assign(shards, std::vector<double>(num_coefficients(), 0.0));
+  shard_live_.assign(shards, 0);
+  ReleaseExcessCapacity(shard_sums_);
+  ReleaseExcessCapacity(shard_comps_);
+  ReleaseExcessCapacity(shard_live_);
+  for (size_t s = 0; s < shards; ++s) {
+    shard_live_[s] = static_cast<uint32_t>(
+        std::min<size_t>(write - s * core::kObjectiveShardRows,
+                         core::kObjectiveShardRows));
+  }
+  exec::ParallelFor(
+      shards,
+      [&](size_t s) {
+        AccumulateShardSlots(s, shard_sums_[s].data(),
+                             shard_comps_[s].data());
+      },
+      pool != nullptr ? *pool : exec::ThreadPool::Global());
+  return old_slots - write;
+}
+
 opt::QuadraticModel IncrementalObjective::Objective() const {
   const size_t coefficients = num_coefficients();
   std::vector<double> sum(coefficients, 0.0);
   std::vector<double> comp(coefficients, 0.0);
   // Same reduction shape as ObjectiveAccumulator::Build: shard partials
-  // folded serially in shard order, compensations carried.
+  // folded serially in shard order, compensations carried. Fully-dead
+  // shards are skipped: their partials are exact (+0.0, +0.0) pairs, and
+  // folding +0.0 through CompensatedAdd is the identity on every (sum,
+  // comp) this reduction can reach — a running sum or compensation can
+  // only be ±nonzero or +0.0 (x + y == −0.0 in round-to-nearest requires
+  // both operands −0.0, and every term starts from +0.0), and
+  // +0.0 + +0.0 == +0.0 — so the skip cannot change a bit.
   for (size_t s = 0; s < shard_sums_.size(); ++s) {
+    if (shard_live_[s] == 0) continue;
     for (size_t idx = 0; idx < coefficients; ++idx) {
       core::CompensatedAdd(sum[idx], comp[idx], shard_sums_[s][idx]);
       comp[idx] += shard_comps_[s][idx];
@@ -240,6 +343,9 @@ IncrementalObjective IncrementalObjective::RebuildFromScratch(
   fresh.ys_ = ys_;
   fresh.live_ = live_;
   fresh.live_count_ = live_count_;
+  fresh.slot_to_id_ = slot_to_id_;
+  fresh.next_id_ = next_id_;
+  fresh.shard_live_ = shard_live_;
   fresh.shard_sums_.assign(shard_sums_.size(),
                            std::vector<double>(num_coefficients(), 0.0));
   fresh.shard_comps_.assign(shard_comps_.size(),
@@ -252,6 +358,32 @@ IncrementalObjective IncrementalObjective::RebuildFromScratch(
       },
       pool != nullptr ? *pool : exec::ThreadPool::Global());
   return fresh;
+}
+
+bool IncrementalObjective::StoreStateBitwiseEquals(
+    const IncrementalObjective& other) const {
+  const auto doubles_equal = [](const std::vector<double>& a,
+                                const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+  };
+  if (dim_ != other.dim_ || kind_ != other.kind_ ||
+      live_count_ != other.live_count_ || live_ != other.live_ ||
+      shard_live_ != other.shard_live_ ||
+      shard_sums_.size() != other.shard_sums_.size()) {
+    return false;
+  }
+  if (!doubles_equal(xs_, other.xs_) || !doubles_equal(ys_, other.ys_)) {
+    return false;
+  }
+  for (size_t s = 0; s < shard_sums_.size(); ++s) {
+    if (!doubles_equal(shard_sums_[s], other.shard_sums_[s]) ||
+        !doubles_equal(shard_comps_[s], other.shard_comps_[s])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace fm::serve

@@ -17,18 +17,29 @@ class ThreadPool;
 
 namespace fm::serve {
 
+/// Stable external handle to an inserted tuple. Ids are assigned
+/// monotonically in insert order, are never reused, and stay valid for the
+/// store's lifetime — across any number of deletes and compactions. Clients
+/// (and serve::Service responses) hold TupleIds, never physical slots.
+using TupleId = uint64_t;
+
 /// Online counterpart of core::ObjectiveAccumulator: a live, mutable tuple
 /// store whose §4.2 / §5.3 quadratic objective is maintained incrementally
 /// under INSERT / DELETE / UPDATE — the serving layer's answer to the
 /// paper's central structural fact that both FM objectives are plain sums of
 /// per-tuple contributions. An insert is an O(d²) compensated delta; a
 /// delete recomputes only its 1024-row shard; deriving the current objective
-/// is O(shards · d²) — so a continuously-updated private model never pays
-/// the O(n · d²) full re-summation that an offline rebuild would.
+/// is O(live shards · d²) — so a continuously-updated private model never
+/// pays the O(n · d²) full re-summation that an offline rebuild would.
 ///
-/// State model. Every inserted tuple occupies a permanent slot (a monotonic
-/// id); deletion marks the slot dead and leaves a hole. Slots are grouped
-/// into fixed core::kObjectiveShardRows-sized shards, each holding a
+/// State model. Every inserted tuple occupies a physical slot; deletion
+/// marks the slot dead and leaves a hole until the next compaction. Clients
+/// address tuples by TupleId, which maps to the current slot through a
+/// sorted id table (`slot_to_id_`): ids are assigned in insert order and
+/// compaction preserves the relative order of survivors, so the table stays
+/// strictly increasing and the id→slot lookup is a binary search — O(log n),
+/// O(live) memory, no hashing. Slots are grouped into fixed
+/// core::kObjectiveShardRows-sized shards, each holding a
 /// Neumaier-compensated partial coefficient sum over its live tuples,
 /// accumulated in slot order through the same
 /// core::AccumulateTupleContribution(Batch) primitives the offline
@@ -61,13 +72,17 @@ namespace fm::serve {
 ///    summations of the identical tuple multiset, so every coefficient
 ///    agrees within 1 ulp (asserted in tests/serve_test.cc).
 ///
-/// Slots are never reused or compacted, so every live slot id stays valid
-/// for the store's lifetime; a delete scrubs the dead tuple's raw values
-/// but keeps the (empty) slot. Under insert+delete churn the slot space —
-/// and the shard count Objective() reduces over — therefore grows with
-/// total insert history, not live size (O(d²) per dead shard, no tuple
-/// data). Background compaction with a slot-remap is future work
-/// (ROADMAP.md).
+/// Compaction. Under insert+delete churn the slot space — and the dead
+/// shard skeletons Objective() must walk — would otherwise grow with total
+/// insert history. Compact() densely rewrites the store in live-slot order,
+/// rebuilds every shard partial from scratch (per-shard parallel, each
+/// shard serial in slot order), and releases the freed capacity, restoring
+/// O(live) memory and O(live shards · d²) objective derivation. The
+/// compaction contract is bitwise: the post-compaction store state —
+/// tuples, liveness, and every shard's (sum, comp) pair — is bit-identical
+/// to a fresh store fed the surviving tuples in order, for every pool size
+/// (docs/DETERMINISM.md, "Compaction"). TupleIds are untouched: survivors
+/// keep their ids, dead ids stay dead (kNotFound) forever.
 ///
 /// Thread-compatibility: const methods may run concurrently; mutations
 /// require external serialization (serve::Service provides it).
@@ -80,54 +95,89 @@ class IncrementalObjective {
   core::ObjectiveKind kind() const { return kind_; }
   /// Number of live tuples.
   size_t live_size() const { return live_count_; }
-  /// High-water slot count (live + holes).
+  /// Physical slot count: live + holes. Equals live_size() right after a
+  /// compaction; grows with inserts and is trimmed back by Compact().
   size_t slot_count() const { return ys_.size(); }
+  /// Dead slots awaiting compaction.
+  size_t dead_count() const { return ys_.size() - live_count_; }
   size_t num_shards() const { return shard_sums_.size(); }
+  /// Shards holding at least one live tuple — what Objective() pays for.
+  size_t live_shards() const;
 
   /// Validates the §3 normalization contract for `kind` (finite values,
   /// ‖x‖₂ ≤ 1; y ∈ [−1, 1] for kLinear, y ∈ {0, 1} for kTruncatedLogistic)
-  /// and appends the tuple. O(d²). Returns the assigned slot id.
-  Result<uint64_t> Insert(const double* x, size_t dim, double y);
-  Result<uint64_t> Insert(const linalg::Vector& x, double y);
+  /// and appends the tuple. O(d²). Returns the assigned TupleId.
+  Result<TupleId> Insert(const double* x, size_t dim, double y);
+  Result<TupleId> Insert(const linalg::Vector& x, double y);
 
   /// Bulk insert of every tuple of `tuples` (validated up front; rejected
   /// atomically — either all rows pass and are inserted or none are).
-  /// Returns the first assigned slot; the batch occupies consecutive slots.
+  /// Returns the first assigned id; the batch occupies consecutive ids.
   /// Accumulates affected shards concurrently on `pool` (nullptr → the
   /// global FM_THREADS pool); bit-identical to the equivalent sequence of
   /// single Inserts for every pool size.
-  Result<uint64_t> InsertBatch(const data::RegressionDataset& tuples,
-                               exec::ThreadPool* pool = nullptr);
+  Result<TupleId> InsertBatch(const data::RegressionDataset& tuples,
+                              exec::ThreadPool* pool = nullptr);
 
-  /// Marks `slot` dead and recomputes its shard from the remaining live
-  /// tuples. O(kObjectiveShardRows · d²). Fails with kNotFound when the
-  /// slot was never assigned or is already dead.
-  Status Delete(uint64_t slot);
+  /// True when `id` refers to a live tuple.
+  bool Contains(TupleId id) const;
 
-  /// Replaces the tuple at live `slot` in place (validating the new tuple)
-  /// and recomputes its shard once. Equivalent to Delete + re-Insert into
-  /// the same slot, at half the recompute cost.
-  Status Update(uint64_t slot, const double* x, size_t dim, double y);
+  /// Marks `id`'s tuple dead, scrubs its raw values, and recomputes its
+  /// shard from the remaining live tuples.
+  /// O(log n + kObjectiveShardRows · d²). Fails with kNotFound when the id
+  /// was never assigned or its tuple is already dead.
+  Status Delete(TupleId id);
 
-  /// The current objective over all live tuples: shard partials reduced
-  /// serially in shard order, compensation carried, then rounded.
-  /// O(shards · d²). Deterministic per the class invariant.
+  /// Replaces `id`'s tuple in place (validating the new tuple) and
+  /// recomputes its shard once. Equivalent to Delete + re-Insert, except
+  /// the id — and the slot layout — are preserved.
+  Status Update(TupleId id, const double* x, size_t dim, double y);
+
+  /// Densely rewrites the store in live-slot order, rebuilds every shard
+  /// partial from scratch on `pool` (per-shard parallel; nullptr → the
+  /// global FM_THREADS pool), drops the dead tail, and releases freed
+  /// capacity. Returns the number of slots reclaimed (0 for an
+  /// already-dense store, which is left untouched). Afterwards the store
+  /// state is bit-identical to a fresh store fed Materialize()'s tuples in
+  /// order, and every surviving TupleId still resolves.
+  size_t Compact(exec::ThreadPool* pool = nullptr);
+
+  /// The current objective over all live tuples: live shards' partials
+  /// reduced serially in shard order, compensation carried, then rounded.
+  /// Fully-dead shards are skipped — their partials are exact (+0, +0)
+  /// pairs whose folding cannot change a bit (see the .cc note), so a
+  /// half-churned store pays O(live shards · d²), not O(all shards · d²).
+  /// Deterministic per the class invariant.
   opt::QuadraticModel Objective() const;
 
-  /// The live tuples, densely packed in slot order. O(n · d).
+  /// The live tuples, densely packed in slot (= id) order. O(n · d).
   data::RegressionDataset Materialize() const;
 
   /// From-scratch reference rebuild: a fresh IncrementalObjective holding
-  /// the same slots (including holes) re-accumulated from the raw tuples on
-  /// `pool`. By the class invariant its state — and therefore Objective()
-  /// — is bit-identical to this one; tests and examples use it to verify
-  /// incremental maintenance against a full recompute.
+  /// the same slots (including holes) and ids re-accumulated from the raw
+  /// tuples on `pool`. By the class invariant its state — and therefore
+  /// Objective() — is bit-identical to this one; tests and examples use it
+  /// to verify incremental maintenance against a full recompute.
   IncrementalObjective RebuildFromScratch(exec::ThreadPool* pool = nullptr)
       const;
+
+  /// Bitwise comparison of the tuple store and accumulator state: raw
+  /// tuples, liveness, and every shard's (sum, comp) doubles compared by
+  /// their bytes (so −0.0 ≠ +0.0 and NaNs compare by payload). TupleId
+  /// assignment is deliberately excluded — ids encode insert history, which
+  /// a fresh store fed the same tuples does not share. This is the
+  /// observable form of the compaction contract: after Compact(),
+  /// StoreStateBitwiseEquals(fresh store fed Materialize()) holds.
+  bool StoreStateBitwiseEquals(const IncrementalObjective& other) const;
 
  private:
   // Validates one tuple against the §3 contract for kind_.
   Status ValidateTuple(const double* x, size_t dim, double y) const;
+
+  // Binary-searches slot_to_id_ (strictly increasing) for `id`; fails with
+  // kNotFound when the id was never assigned, was compacted away, or its
+  // slot is dead.
+  Result<size_t> FindLiveSlot(TupleId id) const;
 
   // Accumulates the live slots in [begin, end) in slot order into
   // (sum, comp), batching through the shared core primitives (bit-identical
@@ -141,8 +191,9 @@ class IncrementalObjective {
   // Rebuilds shard `shard`'s partials from its live tuples.
   void RecomputeShard(size_t shard);
 
-  // Appends storage for one tuple (no accumulation), growing shards.
-  uint64_t AppendTuple(const double* x, double y);
+  // Appends storage for one tuple (no accumulation), growing shards and
+  // assigning the next TupleId. Returns the new physical slot.
+  size_t AppendTuple(const double* x, double y);
 
   size_t num_coefficients() const {
     return core::NumObjectiveCoefficients(dim_);
@@ -154,9 +205,15 @@ class IncrementalObjective {
   std::vector<double> ys_;     // slot labels
   std::vector<uint8_t> live_;  // slot liveness
   size_t live_count_ = 0;
-  // Per-shard compensated partial coefficient sums over live tuples.
+  // slot → TupleId. Strictly increasing (ids are assigned monotonically and
+  // compaction preserves survivor order), so id → slot is a binary search.
+  std::vector<TupleId> slot_to_id_;
+  TupleId next_id_ = 0;  // never decremented — ids outlive compactions
+  // Per-shard compensated partial coefficient sums over live tuples, plus
+  // per-shard live counts (to skip fully-dead shards in Objective()).
   std::vector<std::vector<double>> shard_sums_;
   std::vector<std::vector<double>> shard_comps_;
+  std::vector<uint32_t> shard_live_;
 };
 
 }  // namespace fm::serve

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -33,10 +34,19 @@ Request Request::Insert(linalg::Vector features, double label) {
   return r;
 }
 
-Request Request::Delete(uint64_t slot) {
+Request Request::Delete(TupleId id) {
   Request r;
   r.kind = RequestKind::kDelete;
-  r.slot = slot;
+  r.id = id;
+  return r;
+}
+
+Request Request::Update(TupleId id, linalg::Vector features, double label) {
+  Request r;
+  r.kind = RequestKind::kUpdate;
+  r.id = id;
+  r.x = std::move(features);
+  r.y = label;
   return r;
 }
 
@@ -61,6 +71,12 @@ Request Request::Evaluate() {
   return r;
 }
 
+Request Request::Compact() {
+  Request r;
+  r.kind = RequestKind::kCompact;
+  return r;
+}
+
 Service::Service(const ServiceOptions& options,
                  std::unique_ptr<BudgetAccountant> accountant)
     : options_(options),
@@ -72,6 +88,13 @@ Result<std::unique_ptr<Service>> Service::Create(
     const ServiceOptions& options) {
   if (options.dim == 0) {
     return Status::InvalidArgument("service dimensionality must be >= 1");
+  }
+  if (options.auto_compact &&
+      (!std::isfinite(options.compaction_dead_ratio) ||
+       options.compaction_dead_ratio <= 0.0)) {
+    return Status::InvalidArgument(
+        "compaction_dead_ratio must be finite and positive when "
+        "auto-compaction is enabled");
   }
   FM_ASSIGN_OR_RETURN(std::unique_ptr<BudgetAccountant> accountant,
                       BudgetAccountant::Create(options.total_epsilon));
@@ -113,8 +136,14 @@ std::vector<Response> Service::ExecuteLog(const std::vector<Request>& log) {
       case RequestKind::kDelete:
         out[i] = DoDelete(log[i]);
         break;
+      case RequestKind::kUpdate:
+        out[i] = DoUpdate(log[i]);
+        break;
       case RequestKind::kTrain:
         out[i] = DoTrain(log[i], base + i);
+        break;
+      case RequestKind::kCompact:
+        out[i] = DoCompact();
         break;
       case RequestKind::kEvaluate:
       default:
@@ -146,13 +175,12 @@ std::vector<Response> Service::Drain() {
 
 Response Service::DoInsert(const Request& request) {
   Response r;
-  const Result<uint64_t> slot =
-      objective_.Insert(request.x, request.y);
-  if (!slot.ok()) {
-    r.status = slot.status();
+  const Result<TupleId> id = objective_.Insert(request.x, request.y);
+  if (!id.ok()) {
+    r.status = id.status();
     return r;
   }
-  r.slot = slot.ValueOrDie();
+  r.id = id.ValueOrDie();
   return r;
 }
 
@@ -179,10 +207,10 @@ void Service::RunInsertBatch(const std::vector<Request>& log, size_t begin,
       batch.x.SetRow(i, log[begin + i].x);
       batch.y[i] = log[begin + i].y;
     }
-    const Result<uint64_t> first = objective_.InsertBatch(batch, &pool());
+    const Result<TupleId> first = objective_.InsertBatch(batch, &pool());
     if (first.ok()) {
       for (size_t i = 0; i < count; ++i) {
-        out[begin + i].slot = first.ValueOrDie() + i;
+        out[begin + i].id = first.ValueOrDie() + i;
       }
       return;
     }
@@ -192,9 +220,38 @@ void Service::RunInsertBatch(const std::vector<Request>& log, size_t begin,
 
 Response Service::DoDelete(const Request& request) {
   Response r;
-  r.status = objective_.Delete(request.slot);
-  r.slot = request.slot;
+  r.status = objective_.Delete(request.id);
+  r.id = request.id;
+  if (r.status.ok()) MaybeAutoCompact();
   return r;
+}
+
+Response Service::DoUpdate(const Request& request) {
+  Response r;
+  r.status = objective_.Update(request.id, request.x.raw(), request.x.size(),
+                               request.y);
+  r.id = request.id;
+  return r;
+}
+
+Response Service::DoCompact() {
+  Response r;
+  const size_t reclaimed = objective_.Compact(&pool());
+  if (reclaimed > 0) ++compaction_count_;
+  r.value = static_cast<double>(reclaimed);
+  return r;
+}
+
+void Service::MaybeAutoCompact() {
+  if (!options_.auto_compact) return;
+  const size_t dead = objective_.dead_count();
+  if (dead < options_.compaction_min_dead) return;
+  if (static_cast<double>(dead) < options_.compaction_dead_ratio *
+                                      static_cast<double>(
+                                          objective_.live_size())) {
+    return;
+  }
+  if (objective_.Compact(&pool()) > 0) ++compaction_count_;
 }
 
 namespace {

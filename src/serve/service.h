@@ -40,23 +40,33 @@ const char* TrainerKindToString(TrainerKind kind);
 
 /// What a request does. The engine batches maximal runs of same-kind
 /// read-only/ingest requests (see Service::ExecuteLog).
-enum class RequestKind { kInsert, kDelete, kTrain, kPredict, kEvaluate };
+enum class RequestKind {
+  kInsert,
+  kDelete,
+  kUpdate,
+  kTrain,
+  kPredict,
+  kEvaluate,
+  kCompact,
+};
 
 /// One request in the service's log. Use the factory helpers; unused fields
 /// are ignored by the engine.
 struct Request {
   RequestKind kind = RequestKind::kPredict;
-  linalg::Vector x;  ///< kInsert / kPredict features.
-  double y = 0.0;    ///< kInsert label.
-  uint64_t slot = 0;  ///< kDelete target.
+  linalg::Vector x;   ///< kInsert / kUpdate / kPredict features.
+  double y = 0.0;     ///< kInsert / kUpdate label.
+  TupleId id = 0;     ///< kDelete / kUpdate target.
   TrainerKind trainer = TrainerKind::kFunctionalMechanism;  ///< kTrain.
   double epsilon = 0.8;  ///< kTrain budget (kFunctionalMechanism only).
 
   static Request Insert(linalg::Vector features, double label);
-  static Request Delete(uint64_t slot);
+  static Request Delete(TupleId id);
+  static Request Update(TupleId id, linalg::Vector features, double label);
   static Request Train(TrainerKind trainer, double epsilon);
   static Request Predict(linalg::Vector features);
   static Request Evaluate();
+  static Request Compact();
 };
 
 /// Outcome of one request. `status` is per-request — a failed request never
@@ -64,8 +74,8 @@ struct Request {
 /// models) untouched.
 struct Response {
   Status status;
-  uint64_t slot = 0;           ///< kInsert: assigned slot id.
-  double value = 0.0;          ///< kPredict: ŷ; kEvaluate: §7 task error.
+  TupleId id = 0;              ///< kInsert: assigned id; kDelete/kUpdate: target.
+  double value = 0.0;  ///< kPredict: ŷ; kEvaluate: §7 error; kCompact: slots reclaimed.
   uint64_t model_version = 0;  ///< kTrain: published; kPredict/kEvaluate: used.
   double epsilon_spent = 0.0;  ///< kTrain: ε committed to the ledger.
 };
@@ -86,6 +96,18 @@ struct ServiceOptions {
   exec::ThreadPool* pool = nullptr;
   /// Model versions retained by the registry.
   size_t max_model_history = 64;
+  /// Auto-compaction: after every successful delete the engine compacts the
+  /// store when dead_count ≥ compaction_min_dead AND
+  /// dead_count ≥ compaction_dead_ratio · live_size — so resident slot
+  /// space stays O(live) under insert+delete churn without clients ever
+  /// issuing Request::Compact. The trigger is a pure function of the store
+  /// state (itself a pure function of the log prefix), so it fires at the
+  /// same log positions for every FM_THREADS and the determinism contract
+  /// is unaffected. The min-dead floor keeps small stores — where holes are
+  /// cheap — from churning through O(live·d²) rebuilds.
+  bool auto_compact = true;
+  double compaction_dead_ratio = 1.0;
+  size_t compaction_min_dead = core::kObjectiveShardRows;
 };
 
 /// The online DP-regression service: a request engine over the incremental
@@ -99,17 +121,25 @@ struct ServiceOptions {
 /// see the same version, exactly as serial execution would), and consecutive
 /// kInsert requests bulk-accumulate their disjoint shards concurrently
 /// (bit-identical to serial inserts by the IncrementalObjective invariant).
-/// kTrain / kDelete / kEvaluate execute serially at their log position.
+/// kTrain / kDelete / kUpdate / kEvaluate / kCompact execute serially at
+/// their log position (compaction itself rebuilds shards in parallel, but
+/// bit-identically for every pool size).
+///
+/// Clients address tuples by the stable TupleId a kInsert response carries;
+/// ids survive compaction, so a client may hold one across any interleaving
+/// of requests (see IncrementalObjective).
 ///
 /// Determinism contract: for a fixed request log (and fixed ServiceOptions
 /// seed), every response — including released model coefficients — is
 /// bit-identical for every FM_THREADS value and both FM_BLOCKED_LINALG
-/// modes. Training randomness comes from Rng::Fork(seed, log_position),
-/// never from execution order (tests/serve_test.cc asserts this end to
-/// end). See docs/SERVING.md.
+/// modes, with or without compactions interleaved at fixed log positions.
+/// Training randomness comes from Rng::Fork(seed, log_position), never from
+/// execution order (tests/serve_test.cc asserts this end to end). See
+/// docs/SERVING.md.
 class Service {
  public:
-  /// Validates the options (dim ≥ 1, total ε finite and positive).
+  /// Validates the options (dim ≥ 1, total ε finite and positive, a finite
+  /// positive compaction ratio when auto-compaction is on).
   static Result<std::unique_ptr<Service>> Create(const ServiceOptions& options);
 
   Service(const Service&) = delete;
@@ -142,6 +172,9 @@ class Service {
 
   /// Log positions consumed so far.
   uint64_t log_position() const { return next_position_; }
+  /// Compactions performed so far (auto-triggered or explicit) that
+  /// actually reclaimed slots.
+  uint64_t compaction_count() const { return compaction_count_; }
 
   const IncrementalObjective& objective() const { return objective_; }
   const BudgetAccountant& accountant() const { return *accountant_; }
@@ -157,11 +190,17 @@ class Service {
   // Handlers; `position` is the request's absolute log position.
   Response DoInsert(const Request& request);
   Response DoDelete(const Request& request);
+  Response DoUpdate(const Request& request);
   Response DoTrain(const Request& request, uint64_t position);
   Response DoPredict(const Request& request,
                      const std::shared_ptr<const ModelSnapshot>& snapshot)
       const;
   Response DoEvaluate();
+  Response DoCompact();
+
+  // Runs the ServiceOptions auto-compaction policy; called after every
+  // successful delete (the only transition that grows dead_count).
+  void MaybeAutoCompact();
 
   // Batched handlers over log[begin, end).
   void RunPredictBatch(const std::vector<Request>& log, size_t begin,
@@ -174,6 +213,7 @@ class Service {
   std::unique_ptr<BudgetAccountant> accountant_;
   ModelRegistry registry_;
   uint64_t next_position_ = 0;
+  uint64_t compaction_count_ = 0;
 
   std::mutex queue_mutex_;
   std::vector<Request> queue_;

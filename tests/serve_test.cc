@@ -10,8 +10,14 @@
 //  - serve::BudgetAccountant's reserve/commit/abort ledger balances exactly
 //    under concurrent hammering, and a rejected or aborted request consumes
 //    no budget.
+//  - TupleIds are stable: they survive deletes and compactions, are never
+//    reused, and Compact() — which rewrites the slot space densely and
+//    rebuilds every shard partial — leaves the store bit-identical to a
+//    fresh store fed the surviving tuples in order, for every pool size.
 //  - serve::Service responses — including released model coefficients — are
-//    bit-identical across thread counts for a fixed request log.
+//    bit-identical across thread counts for a fixed request log, with
+//    auto-compactions interleaved, and the auto-compaction policy keeps the
+//    slot space O(live) under randomized insert/delete/update churn.
 //  - Every baseline trainer rejects invalid ε uniformly (the
 //    dp::ValidateEpsilon audit).
 #include <cmath>
@@ -83,9 +89,9 @@ serve::IncrementalObjective StoreFromDataset(
     const data::RegressionDataset& ds, core::ObjectiveKind kind) {
   serve::IncrementalObjective store(ds.dim(), kind);
   for (size_t i = 0; i < ds.size(); ++i) {
-    auto slot = store.Insert(ds.x.Row(i), ds.dim(), ds.y[i]);
-    EXPECT_TRUE(slot.ok()) << slot.status().ToString();
-    EXPECT_EQ(slot.ValueOrDie(), i);
+    auto id = store.Insert(ds.x.Row(i), ds.dim(), ds.y[i]);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(id.ValueOrDie(), i);
   }
   return store;
 }
@@ -226,6 +232,165 @@ TEST(IncrementalObjective, DeleteUnknownOrDeadSlotFails) {
   EXPECT_EQ(store.Update(0, x, 2, 0.0).code(), StatusCode::kNotFound);
 }
 
+TEST(IncrementalObjective, EmptyInsertBatchIsRejectedUpFront) {
+  serve::IncrementalObjective store(3, core::ObjectiveKind::kLinear);
+  data::RegressionDataset empty;
+  empty.x = linalg::Matrix(0, 3);
+  empty.y = linalg::Vector(0);
+  EXPECT_EQ(store.InsertBatch(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.slot_count(), 0u);
+  EXPECT_EQ(store.num_shards(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Compaction and tuple-id stability
+// --------------------------------------------------------------------------
+
+TEST(IncrementalObjective, CompactMatchesFreshStoreBitwise) {
+  const auto ds = MakeDataset(3000, 6, false, 101);
+  auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+
+  // Scatter seeded-random deletes so every shard keeps ghosts (no shard
+  // goes fully dead — the compaction, not the dead-shard skip, must pay
+  // off).
+  Rng rng(103);
+  std::vector<uint64_t> live(ds.size());
+  for (size_t i = 0; i < live.size(); ++i) live[i] = i;
+  for (size_t k = 0; k < 1100; ++k) {
+    const size_t pick = static_cast<size_t>(rng.UniformInt(live.size()));
+    ASSERT_TRUE(store.Delete(live[pick]).ok());
+    live[pick] = live.back();
+    live.pop_back();
+  }
+  ASSERT_EQ(store.live_size(), ds.size() - 1100);
+  ASSERT_EQ(store.slot_count(), ds.size());
+
+  EXPECT_EQ(store.Compact(), 1100u);
+  EXPECT_EQ(store.slot_count(), store.live_size());
+  EXPECT_EQ(store.dead_count(), 0u);
+  EXPECT_EQ(store.num_shards(),
+            (store.live_size() + core::kObjectiveShardRows - 1) /
+                core::kObjectiveShardRows);
+  EXPECT_EQ(store.live_shards(), store.num_shards());
+
+  // The tentpole contract: the compacted store is bit-identical — tuple
+  // storage AND every shard's compensated partials — to a fresh store fed
+  // the surviving tuples in order.
+  const auto fresh =
+      StoreFromDataset(store.Materialize(), core::ObjectiveKind::kLinear);
+  EXPECT_TRUE(store.StoreStateBitwiseEquals(fresh));
+  ExpectBitwiseEqual(store.Objective(), fresh.Objective());
+}
+
+TEST(IncrementalObjective, CompactIsBitIdenticalForEveryPoolSize) {
+  const auto ds = MakeDataset(2400, 5, false, 109);
+  auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+  Rng rng(111);
+  for (size_t k = 0; k < 900; ++k) {
+    const uint64_t victim = rng.UniformInt(ds.size());
+    (void)store.Delete(victim);  // double deletes are fine — skip them
+  }
+  auto compact1 = store;
+  auto compact8 = store;
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool8(8);
+  EXPECT_EQ(compact1.Compact(&pool1), compact8.Compact(&pool8));
+  EXPECT_TRUE(compact1.StoreStateBitwiseEquals(compact8));
+  ExpectBitwiseEqual(compact1.Objective(), compact8.Objective());
+}
+
+TEST(IncrementalObjective, TupleIdsStayValidAcrossCompactions) {
+  serve::IncrementalObjective store(2, core::ObjectiveKind::kLinear);
+  for (size_t i = 0; i < 10; ++i) {
+    const double x[2] = {0.05 * static_cast<double>(i), 0.1};
+    // Dyadic labels, so the Materialize() comparison below is exact.
+    ASSERT_EQ(store.Insert(x, 2, 0.125 * static_cast<double>(i) - 0.5)
+                  .ValueOrDie(),
+              i);
+  }
+  for (const serve::TupleId id : {0u, 3u, 7u}) {
+    ASSERT_TRUE(store.Delete(id).ok());
+  }
+  EXPECT_EQ(store.Compact(), 3u);
+  EXPECT_EQ(store.slot_count(), 7u);
+
+  // Survivors keep their ids; compacted-away ids stay dead forever.
+  EXPECT_FALSE(store.Contains(0));
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_EQ(store.Delete(0).code(), StatusCode::kNotFound);
+  const double replacement[2] = {0.3, 0.4};
+  EXPECT_TRUE(store.Update(9, replacement, 2, 0.5).ok());
+  EXPECT_TRUE(store.Delete(5).ok());
+  EXPECT_EQ(store.Delete(5).code(), StatusCode::kNotFound);
+
+  // New inserts continue the global sequence — ids are never reused.
+  const double fresh_x[2] = {0.25, 0.25};
+  EXPECT_EQ(store.Insert(fresh_x, 2, 0.25).ValueOrDie(), 10u);
+  EXPECT_EQ(store.Compact(), 1u);  // the hole id 5 left behind
+  EXPECT_EQ(store.slot_count(), store.live_size());
+  EXPECT_TRUE(store.Contains(10));
+  EXPECT_FALSE(store.Contains(5));
+
+  // The surviving tuples sit in id order with the mutations applied —
+  // compaction moved exactly the right rows.
+  const auto live = store.Materialize();
+  const std::vector<double> expected_y = {-0.375, -0.25, 0.0, 0.25,
+                                          0.5,    0.5,   0.25};
+  ASSERT_EQ(live.size(), expected_y.size());
+  for (size_t i = 0; i < expected_y.size(); ++i) {
+    EXPECT_EQ(live.y[i], expected_y[i]) << "row " << i;
+  }
+}
+
+TEST(IncrementalObjective, CompactOnDenseOrEmptiedStoreIsSafe) {
+  const auto ds = MakeDataset(700, 4, false, 113);
+  auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+  const auto before = store;
+  EXPECT_EQ(store.Compact(), 0u);  // dense already: bitwise a no-op
+  EXPECT_TRUE(store.StoreStateBitwiseEquals(before));
+
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(store.Delete(i).ok());
+  }
+  EXPECT_EQ(store.Compact(), ds.size());
+  EXPECT_EQ(store.slot_count(), 0u);
+  EXPECT_EQ(store.num_shards(), 0u);
+  const serve::IncrementalObjective empty(4, core::ObjectiveKind::kLinear);
+  EXPECT_TRUE(store.StoreStateBitwiseEquals(empty));
+  ExpectBitwiseEqual(store.Objective(), empty.Objective());
+
+  // The emptied store still serves, and still never reuses an id.
+  const double x[4] = {0.5, 0.0, 0.0, 0.0};
+  EXPECT_EQ(store.Insert(x, 4, 0.0).ValueOrDie(), ds.size());
+  EXPECT_EQ(store.live_size(), 1u);
+}
+
+TEST(IncrementalObjective, FullyDeadShardContributesNothingBitwise) {
+  // 1025 tuples: shard 1 holds exactly one, so deleting it leaves a
+  // fully-dead shard that Objective() must skip without changing a bit.
+  const auto ds = MakeDataset(1025, 5, false, 107);
+  auto store = StoreFromDataset(ds, core::ObjectiveKind::kLinear);
+  const auto full = store.Objective();
+
+  std::vector<size_t> head(core::kObjectiveShardRows);
+  for (size_t i = 0; i < head.size(); ++i) head[i] = i;
+  const auto store0 =
+      StoreFromDataset(ds.Select(head), core::ObjectiveKind::kLinear);
+
+  ASSERT_TRUE(store.Delete(1024).ok());
+  EXPECT_EQ(store.num_shards(), 2u);
+  EXPECT_EQ(store.live_shards(), 1u);
+  // The skip path folds exactly what a store that never saw shard 1 folds.
+  ExpectBitwiseEqual(store.Objective(), store0.Objective());
+
+  // Reviving the shard (slot 1025 lands in shard 1) restores the original
+  // bits: the recomputed shard is again a single-tuple in-order sum.
+  ASSERT_TRUE(store.Insert(ds.x.Row(1024), 5, ds.y[1024]).ok());
+  EXPECT_EQ(store.live_shards(), 2u);
+  ExpectBitwiseEqual(store.Objective(), full);
+}
+
 // --------------------------------------------------------------------------
 // BudgetAccountant
 // --------------------------------------------------------------------------
@@ -326,6 +491,29 @@ TEST(BudgetAccountant, ConcurrentReserveCommitAbortBalancesExactly) {
             accountant->total_epsilon());
 }
 
+TEST(BudgetAccountant, DiagnosticsKeepSmallEpsilonPrecision) {
+  // std::to_string would render these ε values as "0.000000", making the
+  // ledger's refusal messages useless; the %.17g formatting must keep the
+  // actual magnitudes visible.
+  auto accountant = serve::BudgetAccountant::Create(1e-9).ValueOrDie();
+
+  const auto exhausted = accountant->Reserve(3e-9, "tiny-train");
+  ASSERT_EQ(exhausted.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(exhausted.status().message().find("0.000000"),
+            std::string::npos)
+      << exhausted.status().message();
+  EXPECT_NE(exhausted.status().message().find("e-09"), std::string::npos)
+      << exhausted.status().message();
+
+  const uint64_t r = accountant->Reserve(1e-9, "tiny-train").ValueOrDie();
+  const Status over = accountant->Commit(r, 2e-9);
+  ASSERT_EQ(over.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(over.message().find("0.000000"), std::string::npos)
+      << over.message();
+  EXPECT_NE(over.message().find("e-09"), std::string::npos) << over.message();
+  ASSERT_TRUE(accountant->Commit(r, 1e-9).ok());
+}
+
 // --------------------------------------------------------------------------
 // ModelRegistry
 // --------------------------------------------------------------------------
@@ -407,7 +595,7 @@ TEST(Service, FixedLogIsBitIdenticalAcrossThreadCounts) {
   ASSERT_EQ(responses1.size(), responses8.size());
   for (size_t i = 0; i < responses1.size(); ++i) {
     EXPECT_EQ(responses1[i].status, responses8[i].status) << "request " << i;
-    EXPECT_EQ(responses1[i].slot, responses8[i].slot) << "request " << i;
+    EXPECT_EQ(responses1[i].id, responses8[i].id) << "request " << i;
     EXPECT_EQ(UlpDistance(responses1[i].value, responses8[i].value), 0u)
         << "request " << i;
     EXPECT_EQ(responses1[i].model_version, responses8[i].model_version);
@@ -573,6 +761,181 @@ TEST(Service, ConcurrentEnqueueThenDrainServesEveryRequest) {
   }
   EXPECT_EQ(service->objective().live_size(),
             initial.size() + kThreads * ((kPerThread + 3) / 4));
+}
+
+TEST(Service, UpdateAndCompactRequests) {
+  const auto initial = MakeDataset(600, 4, false, 211);
+  serve::ServiceOptions options;
+  options.dim = 4;
+  options.total_epsilon = 4.0;
+  options.auto_compact = false;  // the explicit request is under test
+  auto service = serve::Service::Create(options).ValueOrDie();
+  ASSERT_TRUE(service->Bootstrap(initial).ok());
+
+  linalg::Vector replacement(4);
+  Rng rng(213);
+  for (auto& v : replacement) v = rng.Uniform(-0.4, 0.4);
+
+  std::vector<serve::Request> log;
+  log.push_back(serve::Request::Update(5, replacement, 0.25));
+  log.push_back(serve::Request::Delete(3));
+  log.push_back(serve::Request::Compact());
+  log.push_back(serve::Request::Update(9999, replacement, 0.25));
+  const auto responses = service->ExecuteLog(log);
+
+  EXPECT_TRUE(responses[0].status.ok()) << responses[0].status.ToString();
+  EXPECT_EQ(responses[0].id, 5u);
+  EXPECT_TRUE(responses[1].status.ok());
+  EXPECT_TRUE(responses[2].status.ok());
+  EXPECT_EQ(responses[2].value, 1.0);  // one dead slot reclaimed
+  EXPECT_EQ(responses[3].status.code(), StatusCode::kNotFound);
+
+  EXPECT_EQ(service->compaction_count(), 1u);
+  const auto& objective = service->objective();
+  EXPECT_EQ(objective.slot_count(), objective.live_size());
+  EXPECT_EQ(objective.live_size(), initial.size() - 1);
+  const auto fresh = StoreFromDataset(objective.Materialize(),
+                                      core::ObjectiveKind::kLinear);
+  EXPECT_TRUE(objective.StoreStateBitwiseEquals(fresh));
+}
+
+TEST(Service, ChurnSoakStaysBoundedAndThreadCountInvariant) {
+  // The ISSUE-5 soak: a seeded random insert/delete/update churn with
+  // trains, predicts, and an aggressive auto-compaction policy, asserting
+  //  (a) the slot space and shard count stay O(live) throughout,
+  //  (b) the post-compaction store is bitwise a fresh store of the live
+  //      tuples,
+  //  (c) every TupleId stays valid across however many compactions remap
+  //      its slot (all delete/update responses are OK by construction),
+  //  (d) every response is byte-identical across FM_THREADS 1 vs 8 and
+  //      across batched vs one-request-at-a-time execution.
+  constexpr size_t kDim = 4;
+  constexpr size_t kOps = 2600;
+  constexpr size_t kMinDead = 128;
+  constexpr double kDeadRatio = 0.5;
+
+  Rng rng(0xC0FFEE);
+  auto random_x = [&] {
+    linalg::Vector x(kDim);
+    for (auto& v : x) v = rng.Uniform(-0.45, 0.45);
+    return x;
+  };
+
+  // One deterministic request log. TupleIds are predictable — the service
+  // assigns them in insert order starting at 0 — so the generator can
+  // track the live-id set and only ever target live tuples.
+  std::vector<serve::Request> log;
+  std::vector<uint64_t> live;
+  uint64_t next_id = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    log.push_back(serve::Request::Insert(random_x(), rng.Uniform(-1.0, 1.0)));
+    live.push_back(next_id++);
+  }
+  log.push_back(serve::Request::Train(serve::TrainerKind::kTruncated, 0.0));
+  size_t private_trains = 0;
+  for (size_t op = 0; op < kOps; ++op) {
+    const double p = rng.Uniform();
+    if (p < 0.45 || live.size() < 8) {
+      log.push_back(
+          serve::Request::Insert(random_x(), rng.Uniform(-1.0, 1.0)));
+      live.push_back(next_id++);
+    } else if (p < 0.80) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(live.size()));
+      log.push_back(serve::Request::Delete(live[pick]));
+      live[pick] = live.back();
+      live.pop_back();
+    } else if (p < 0.90) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(live.size()));
+      log.push_back(serve::Request::Update(live[pick], random_x(),
+                                           rng.Uniform(-1.0, 1.0)));
+    } else if (p < 0.97) {
+      log.push_back(serve::Request::Predict(random_x()));
+    } else if (private_trains < 4) {
+      // A few ε-charged FM trains so released coefficients cross
+      // compaction points too (4 · 0.5 fits the 4.0 budget).
+      log.push_back(serve::Request::Train(
+          serve::TrainerKind::kFunctionalMechanism, 0.5));
+      ++private_trains;
+    } else {
+      log.push_back(
+          serve::Request::Train(serve::TrainerKind::kTruncated, 0.0));
+    }
+  }
+  log.push_back(serve::Request::Compact());
+
+  const auto make_options = [&](exec::ThreadPool* pool) {
+    serve::ServiceOptions options;
+    options.dim = kDim;
+    options.total_epsilon = 4.0;
+    options.seed = 0x50AC;
+    options.pool = pool;
+    options.compaction_min_dead = kMinDead;
+    options.compaction_dead_ratio = kDeadRatio;
+    return options;
+  };
+
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool8(8);
+  auto service1 = serve::Service::Create(make_options(&pool1)).ValueOrDie();
+  auto service8 = serve::Service::Create(make_options(&pool8)).ValueOrDie();
+  const auto responses1 = service1->ExecuteLog(log);
+  const auto responses8 = service8->ExecuteLog(log);
+
+  // (c): by construction every delete/update targeted a live id, so a
+  // single failure means a compaction broke an id.
+  ASSERT_EQ(responses1.size(), log.size());
+  for (size_t i = 0; i < responses1.size(); ++i) {
+    EXPECT_TRUE(responses1[i].status.ok())
+        << "request " << i << ": " << responses1[i].status.ToString();
+  }
+  EXPECT_GT(service1->compaction_count(), 1u);
+  EXPECT_EQ(service1->compaction_count(), service8->compaction_count());
+
+  // (d): byte-identical across thread counts, compactions interleaved.
+  for (size_t i = 0; i < responses1.size(); ++i) {
+    EXPECT_EQ(responses1[i].status, responses8[i].status) << "request " << i;
+    EXPECT_EQ(responses1[i].id, responses8[i].id) << "request " << i;
+    EXPECT_EQ(UlpDistance(responses1[i].value, responses8[i].value), 0u)
+        << "request " << i;
+    EXPECT_EQ(responses1[i].model_version, responses8[i].model_version);
+    EXPECT_EQ(responses1[i].epsilon_spent, responses8[i].epsilon_spent);
+  }
+
+  // (d) continued: serializability across batching — replaying the log one
+  // request at a time reproduces every response byte for byte, and the
+  // auto-compaction policy invariant (dead < max(min_dead, ratio·live))
+  // holds after every single request.
+  auto replay = serve::Service::Create(make_options(nullptr)).ValueOrDie();
+  for (size_t i = 0; i < log.size(); ++i) {
+    const auto response = replay->ExecuteLog({log[i]})[0];
+    ASSERT_EQ(response.status, responses1[i].status) << "request " << i;
+    ASSERT_EQ(response.id, responses1[i].id) << "request " << i;
+    ASSERT_EQ(UlpDistance(response.value, responses1[i].value), 0u)
+        << "request " << i;
+    ASSERT_EQ(response.model_version, responses1[i].model_version);
+    const auto& objective = replay->objective();
+    const size_t dead = objective.dead_count();
+    EXPECT_TRUE(dead < kMinDead ||
+                static_cast<double>(dead) <
+                    kDeadRatio * static_cast<double>(objective.live_size()))
+        << "slot space unbounded after request " << i << ": dead = " << dead
+        << ", live = " << objective.live_size();
+  }
+
+  // (a): the log ends with an explicit Compact, so the store is dense and
+  // its shard count is exactly ceil(live / shard rows).
+  const auto& objective = service1->objective();
+  EXPECT_EQ(objective.live_size(), live.size());
+  EXPECT_EQ(objective.slot_count(), objective.live_size());
+  EXPECT_EQ(objective.num_shards(),
+            (objective.live_size() + core::kObjectiveShardRows - 1) /
+                core::kObjectiveShardRows);
+
+  // (b): bitwise equal to a fresh store fed the live tuples in order.
+  const auto fresh = StoreFromDataset(objective.Materialize(),
+                                      core::ObjectiveKind::kLinear);
+  EXPECT_TRUE(objective.StoreStateBitwiseEquals(fresh));
+  ExpectBitwiseEqual(objective.Objective(), fresh.Objective());
 }
 
 // --------------------------------------------------------------------------

@@ -24,8 +24,13 @@ Usage:
 volumes) for CI; the serve dataset size stays at the gate's n = 1e5.
 ``--gate`` exits non-zero when the perf contract is violated: in linalg
 mode, blocked kernels slower than the scalar reference on any GEMM of size
->= 256; in serve mode, incremental retrain slower than a full rebuild at
-n >= 1e5.
+>= 256; in serve mode, (1) incremental retrain slower than a full rebuild
+at n >= 1e5, or (2) the churn workload's post-compaction store not O(live)
+— resident slots must equal the live count exactly and Objective() must
+run within 1.5x of a fresh store holding the same live tuples
+(bench_serve itself exits non-zero if the compacted store is not bitwise
+equal to that fresh store, so the perf gate can never pass on a wrong
+store).
 """
 
 import argparse
@@ -48,6 +53,12 @@ GATE_MIN_SIZE = 256
 # The serve gate only binds at scale: below this n a full rebuild is cheap
 # enough that scheduling noise could dominate the comparison.
 SERVE_GATE_MIN_N = 100000
+
+# Post-compaction Objective() may cost at most this multiple of a fresh
+# store of the same live tuples. The two stores are bit-identical (checked
+# inside bench_serve), so the ratio measures pure overhead; the headroom
+# absorbs timer noise on shared runners.
+SERVE_CHURN_MAX_POST_VS_FRESH = 1.5
 
 
 def resolve_min_time_arg(binary, min_time):
@@ -122,7 +133,8 @@ def run_serve_mode(args):
     if repeats is not None:
         cmd += ["--repeats", str(repeats)]
     if args.smoke:
-        cmd += ["--ingest", "5000", "--predicts", "5000", "--mixed", "5000"]
+        cmd += ["--ingest", "5000", "--predicts", "5000", "--mixed", "5000",
+                "--churn-live", "2000"]
     proc = subprocess.run(cmd)
     if proc.returncode != 0:
         raise SystemExit("bench_serve failed")
@@ -145,6 +157,26 @@ def run_serve_mode(args):
             raise SystemExit(1)
         print(f"gate passed: incremental retrain beats full rebuild at "
               f"n={n} ({report['incremental_vs_full_speedup']:.2f}x)")
+
+        # Churn/compaction contract: O(live) resident slots, exactly, and
+        # post-compaction Objective() within the fresh-store envelope.
+        slots_after = report["churn_slots_after_compaction"]
+        churn_live = report["churn_live_tuples"]
+        if slots_after != churn_live:
+            print(f"GATE FAILURE: post-compaction slot space ({slots_after}) "
+                  f"is not the live count ({churn_live})", file=sys.stderr)
+            raise SystemExit(1)
+        ratio = report["churn_post_vs_fresh_ratio"]
+        if ratio > SERVE_CHURN_MAX_POST_VS_FRESH:
+            print(f"GATE FAILURE: post-compaction Objective() is {ratio:.2f}x "
+                  f"a fresh store of the same live tuples (limit "
+                  f"{SERVE_CHURN_MAX_POST_VS_FRESH}x)", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"gate passed: compaction reclaimed "
+              f"{report['churn_slots_reclaimed']} of "
+              f"{report['churn_slots_before_compaction']} churn slots; "
+              f"post-compaction objective is {ratio:.2f}x fresh "
+              f"(bitwise-equal stores)")
 
 
 def main():
