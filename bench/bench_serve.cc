@@ -10,15 +10,22 @@
 // machines without libbenchmark-dev. tools/run_bench.py --mode serve
 // drives it and re-emits BENCH_serve.json as a CI artifact.
 //
+// The durable-ingest phase measures the same insert stream against a
+// WAL-attached service in each sync mode (none / group-commit batch /
+// always), reporting requests/sec, fsync counts, and mean commit-batch
+// latency, then proves in-process that Service::Recover rebuilds a
+// bitwise-equal service from the snapshot + WAL tail it just wrote.
+//
 // Usage:
 //   bench_serve [--n 100000] [--dim 10] [--repeats 7] [--ingest 20000]
 //               [--predicts 20000] [--mixed 10000] [--churn-live 4000]
-//               [--out BENCH_serve.json]
+//               [--durable 8000] [--out BENCH_serve.json]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -29,6 +36,7 @@
 #include "eval/stopwatch.h"
 #include "exec/thread_pool.h"
 #include "serve/service.h"
+#include "serve/wal.h"
 
 namespace {
 
@@ -78,6 +86,7 @@ struct Flags {
   size_t predicts = 20000;
   size_t mixed = 10000;
   size_t churn_live = 4000;
+  size_t durable = 8000;
   std::string out = "BENCH_serve.json";
 };
 
@@ -107,6 +116,9 @@ Flags ParseFlags(int argc, char** argv) {
       flags.mixed = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--churn-live") {
       flags.churn_live =
+          static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--durable") {
+      flags.durable =
           static_cast<size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--out") {
       flags.out = next();
@@ -352,6 +364,126 @@ int main(int argc, char** argv) {
   const double churn_post_vs_fresh =
       churn_objective_post / churn_objective_fresh;
 
+  // --- durable ingest: WAL group commit + recovery ------------------------
+  // The same insert stream through a WAL-attached service in each sync
+  // mode, committed in small batches so group commit has batches to group.
+  // Mode "none" skips fsync (write(2) still happens per commit), "batch"
+  // fsyncs when the window/record budget fills, "always" fsyncs every
+  // commit — the spread shows what durability actually costs.
+  const data::RegressionDataset durable_stream =
+      RandomDataset(flags.durable, flags.dim, 5);
+  std::vector<serve::Request> durable_log;
+  durable_log.reserve(flags.durable);
+  for (size_t i = 0; i < durable_stream.size(); ++i) {
+    durable_log.push_back(serve::Request::Insert(
+        durable_stream.x.RowVector(i), durable_stream.y[i]));
+  }
+  constexpr size_t kDurableChunk = 8;
+
+  struct DurableRun {
+    double rps = 0.0;
+    double mean_commit_ms = 0.0;
+    uint64_t commit_batches = 0;
+    uint64_t syncs = 0;
+    bool ok = false;
+  };
+  const auto scratch_dir = [&](const char* tag) {
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / (std::string("fm_bench_wal_") + tag);
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return dir.string();
+  };
+  const auto make_durability = [&](const std::string& dir,
+                                   serve::WalSyncMode mode) {
+    serve::DurabilityOptions durability;
+    durability.wal.path = dir + "/requests.fmwal";
+    durability.wal.sync = mode;
+    durability.snapshot_dir = dir + "/snapshots";
+    return durability;
+  };
+  const auto run_durable = [&](serve::WalSyncMode mode) {
+    DurableRun result;
+    const std::string dir = scratch_dir(serve::WalSyncModeToString(mode));
+    const auto durability = make_durability(dir, mode);
+    auto durable_service = serve::Service::Create(options).ValueOrDie();
+    if (!durable_service->EnableDurability(durability).ok()) {
+      std::fprintf(stderr, "durable(%s): EnableDurability failed\n",
+                   serve::WalSyncModeToString(mode));
+      return result;
+    }
+    eval::Stopwatch durable_watch;
+    for (size_t i = 0; i < durable_log.size(); i += kDurableChunk) {
+      const size_t end = std::min(i + kDurableChunk, durable_log.size());
+      const std::vector<serve::Request> chunk(
+          durable_log.begin() + static_cast<std::ptrdiff_t>(i),
+          durable_log.begin() + static_cast<std::ptrdiff_t>(end));
+      if (!AllOk(durable_service->ExecuteLog(chunk), "durable ingest")) {
+        return result;
+      }
+    }
+    const double seconds = durable_watch.Seconds();
+    result.rps = static_cast<double>(durable_log.size()) / seconds;
+    result.commit_batches = durable_service->wal()->commit_batches();
+    result.syncs = durable_service->wal()->sync_count();
+    result.mean_commit_ms =
+        seconds / static_cast<double>(result.commit_batches) * 1e3;
+    result.ok = true;
+    return result;
+  };
+  const DurableRun durable_none = run_durable(serve::WalSyncMode::kNone);
+  const DurableRun durable_batch = run_durable(serve::WalSyncMode::kBatch);
+  const DurableRun durable_always = run_durable(serve::WalSyncMode::kAlways);
+  if (!durable_none.ok || !durable_batch.ok || !durable_always.ok) return 1;
+
+  // Recovery: a durable run with a mid-stream checkpoint (snapshot + WAL
+  // tail), recovered in-process and byte-compared against an uninterrupted
+  // service that executed the same log.
+  const std::string recover_dir = scratch_dir("recover");
+  auto recover_durability =
+      make_durability(recover_dir, serve::WalSyncMode::kNone);
+  recover_durability.snapshot_every = flags.durable / 2;
+  {
+    auto durable_service = serve::Service::Create(options).ValueOrDie();
+    if (!durable_service->EnableDurability(recover_durability).ok()) {
+      std::fprintf(stderr, "recovery: EnableDurability failed\n");
+      return 1;
+    }
+    for (size_t i = 0; i < durable_log.size(); i += kDurableChunk) {
+      const size_t end = std::min(i + kDurableChunk, durable_log.size());
+      const std::vector<serve::Request> chunk(
+          durable_log.begin() + static_cast<std::ptrdiff_t>(i),
+          durable_log.begin() + static_cast<std::ptrdiff_t>(end));
+      if (!AllOk(durable_service->ExecuteLog(chunk), "recovery ingest")) {
+        return 1;
+      }
+    }
+  }  // destroyed: recovery sees only the files
+  auto reference_service = serve::Service::Create(options).ValueOrDie();
+  if (!AllOk(reference_service->ExecuteLog(durable_log), "reference")) {
+    return 1;
+  }
+  watch.Reset();
+  auto recovered_or = serve::Service::Recover(options, recover_durability);
+  const double recovery_seconds = watch.Seconds();
+  if (!recovered_or.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto recovered = std::move(recovered_or).ValueOrDie();
+  const bool recovered_bitwise =
+      recovered->log_position() == reference_service->log_position() &&
+      recovered->objective().StoreStateBitwiseEquals(
+          reference_service->objective());
+  if (!recovered_bitwise) {
+    std::fprintf(stderr,
+                 "recovery: recovered service is NOT bitwise equal to the "
+                 "uninterrupted one\n");
+    return 1;
+  }
+
   std::printf("\n%-34s %14s\n", "metric", "value");
   std::printf("%-34s %11.0f /s\n", "bootstrap rows", bootstrap_rows_per_sec);
   std::printf("%-34s %11.0f /s\n", "ingest requests", ingest_rps);
@@ -375,6 +507,22 @@ int main(int argc, char** argv) {
               churn_objective_fresh * 1e6);
   std::printf("%-34s %12.2fx\n", "objective post vs fresh",
               churn_post_vs_fresh);
+  std::printf("%-34s %11.0f /s\n", "durable ingest (sync=none)",
+              durable_none.rps);
+  std::printf("%-34s %11.0f /s\n", "durable ingest (sync=batch)",
+              durable_batch.rps);
+  std::printf("%-34s %11.0f /s\n", "durable ingest (sync=always)",
+              durable_always.rps);
+  std::printf("%-34s %12.3f ms (%llu syncs / %llu commits)\n",
+              "commit batch (sync=batch)", durable_batch.mean_commit_ms,
+              static_cast<unsigned long long>(durable_batch.syncs),
+              static_cast<unsigned long long>(durable_batch.commit_batches));
+  std::printf("%-34s %12.3f ms (%llu syncs / %llu commits)\n",
+              "commit batch (sync=always)", durable_always.mean_commit_ms,
+              static_cast<unsigned long long>(durable_always.syncs),
+              static_cast<unsigned long long>(durable_always.commit_batches));
+  std::printf("%-34s %12.3f ms (snapshot + WAL tail, bitwise-verified)\n",
+              "recovery", recovery_seconds * 1e3);
 
   if (!flags.out.empty()) {
     std::FILE* f = std::fopen(flags.out.c_str(), "w");
@@ -413,7 +561,19 @@ int main(int argc, char** argv) {
                  "  \"churn_objective_post_compaction_seconds\": %.9f,\n"
                  "  \"churn_objective_fresh_seconds\": %.9f,\n"
                  "  \"churn_post_vs_fresh_ratio\": %.3f,\n"
-                 "  \"churn_compacted_bitwise_equals_fresh\": true\n"
+                 "  \"churn_compacted_bitwise_equals_fresh\": true,\n"
+                 "  \"durable_ingest_requests\": %zu,\n"
+                 "  \"durable_commit_chunk\": %zu,\n"
+                 "  \"durable_ingest_rps_sync_none\": %.1f,\n"
+                 "  \"durable_ingest_rps_sync_batch\": %.1f,\n"
+                 "  \"durable_ingest_rps_sync_always\": %.1f,\n"
+                 "  \"durable_commit_ms_sync_batch\": %.6f,\n"
+                 "  \"durable_commit_ms_sync_always\": %.6f,\n"
+                 "  \"durable_syncs_sync_batch\": %llu,\n"
+                 "  \"durable_syncs_sync_always\": %llu,\n"
+                 "  \"durable_commit_batches\": %llu,\n"
+                 "  \"recovery_seconds\": %.9f,\n"
+                 "  \"recovered_bitwise_equal\": true\n"
                  "}\n",
                  flags.n, flags.dim, live, threads, flags.repeats,
                  bootstrap_rows_per_sec, ingest_rps, predict_rps, mixed_rps,
@@ -422,7 +582,14 @@ int main(int argc, char** argv) {
                  churn_slots_before, churn_slots_after, churn_shards_before,
                  churn_shards_after, churn_objective_pre,
                  churn_objective_post, churn_objective_fresh,
-                 churn_post_vs_fresh);
+                 churn_post_vs_fresh, flags.durable, kDurableChunk,
+                 durable_none.rps, durable_batch.rps, durable_always.rps,
+                 durable_batch.mean_commit_ms, durable_always.mean_commit_ms,
+                 static_cast<unsigned long long>(durable_batch.syncs),
+                 static_cast<unsigned long long>(durable_always.syncs),
+                 static_cast<unsigned long long>(
+                     durable_batch.commit_batches),
+                 recovery_seconds);
     std::fclose(f);
     std::printf("\nwrote %s\n", flags.out.c_str());
   }

@@ -17,6 +17,11 @@
 //      Request::Compact collapses the slot space to exactly the live
 //      count, the store comes out bit-identical to a fresh store fed the
 //      live tuples in order, and previously issued tuple ids keep working.
+//   5. Crashes are survivable: with durability enabled every request batch
+//      is written ahead to a WAL before it executes, checkpoints snapshot
+//      the full state, and recovery (snapshot + WAL-tail replay) rebuilds
+//      a service bitwise-equal to the uninterrupted one — even when the
+//      crash tears the final record in half.
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j --target fm_service
@@ -25,16 +30,19 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <vector>
 
 #include "baselines/fm_algorithm.h"
+#include "common/io_util.h"
 #include "common/rng.h"
 #include "common/ulp.h"
 #include "core/objective_accumulator.h"
 #include "data/census_generator.h"
 #include "data/normalizer.h"
 #include "serve/service.h"
+#include "serve/wal.h"
 
 namespace {
 
@@ -254,6 +262,115 @@ int main() {
   ok &= Check(accountant.pending_reservations() == 0 &&
                   accountant.spent_epsilon() == charged,
               "compaction charged no privacy budget");
+
+  // 7. Crash-safe serving. A durable twin of the service runs a small mixed
+  //    log with the write-ahead log attached, checkpoints mid-stream, and
+  //    then "crashes" — simulated, as in tests/wal_test.cc, by destroying
+  //    the process state and tearing the final WAL record (a crash can only
+  //    lose a suffix, and truncation is exactly what one leaves behind).
+  //    Recovery loads the snapshot, replays the WAL tail through the
+  //    ordinary execution path, and must come back bitwise-equal to an
+  //    uninterrupted reference service — the determinism contract is what
+  //    makes "recovery = replay" provable rather than approximate.
+  //    Output stays deterministic: counts and ulp distances only.
+  std::printf("\ndurability and crash recovery:\n");
+  namespace fs = std::filesystem;
+  std::error_code scratch_ec;
+  const fs::path scratch_dir = fs::temp_directory_path() / "fm_service_demo_wal";
+  fs::remove_all(scratch_dir, scratch_ec);
+
+  serve::DurabilityOptions durability;
+  durability.wal.path = (scratch_dir / "requests.fmwal").string();
+  // fsync-free mode: write(2) still lands every commit in the OS, so a
+  // process crash loses nothing and the demo stays fast; recovery must
+  // handle an arbitrary lost suffix under every mode anyway.
+  durability.wal.sync = serve::WalSyncMode::kNone;
+  durability.snapshot_dir = (scratch_dir / "snapshots").string();
+
+  std::vector<serve::Request> demo_log;
+  for (size_t i = 0; i < 120; ++i) {
+    demo_log.push_back(
+        serve::Request::Insert(stream.x.RowVector(i), stream.y[i]));
+  }
+  demo_log.push_back(
+      serve::Request::Train(serve::TrainerKind::kFunctionalMechanism, 0.8));
+  for (size_t i = 0; i < 10; ++i) {
+    demo_log.push_back(serve::Request::Predict(stream.x.RowVector(i)));
+  }
+  demo_log.push_back(serve::Request::Delete(7));
+  demo_log.push_back(serve::Request::Evaluate());
+
+  // The uninterrupted reference: same options, same log, no durability.
+  auto reference = serve::Service::Create(options).ValueOrDie();
+  const auto reference_responses = reference->ExecuteLog(demo_log);
+  for (const auto& response : reference_responses) {
+    if (!response.status.ok()) return 1;
+  }
+
+  auto durable = serve::Service::Create(options).ValueOrDie();
+  if (!durable->EnableDurability(durability).ok()) return 1;
+  const std::vector<serve::Request> first_half(demo_log.begin(),
+                                               demo_log.begin() + 80);
+  const std::vector<serve::Request> second_half(demo_log.begin() + 80,
+                                                demo_log.end());
+  for (const auto& response : durable->ExecuteLog(first_half)) {
+    if (!response.status.ok()) return 1;
+  }
+  if (!durable->Checkpoint().ok()) return 1;
+  for (const auto& response : durable->ExecuteLog(second_half)) {
+    if (!response.status.ok()) return 1;
+  }
+  std::printf(
+      "    wal: %llu records in %llu commit batches, checkpoint at "
+      "position 80\n",
+      static_cast<unsigned long long>(durable->wal()->appended_records()),
+      static_cast<unsigned long long>(durable->wal()->commit_batches()));
+
+  // Crash: drop the in-memory service, tear the final WAL record.
+  durable.reset();
+  const uint64_t wal_bytes =
+      io::FileSize(durability.wal.path).ValueOrDie();
+  if (!io::TruncateFile(durability.wal.path, wal_bytes - 3).ok()) return 1;
+
+  auto recovered =
+      serve::Service::Recover(options, durability).ValueOrDie();
+  std::printf("    crash tore the final record; recovered to position %llu "
+              "of %zu (snapshot + WAL tail replay)\n",
+              static_cast<unsigned long long>(recovered->log_position()),
+              demo_log.size());
+  ok &= Check(recovered->log_position() == demo_log.size() - 1,
+              "recovery replayed everything but the torn final record");
+
+  // The client re-submits the lost request; its response must be
+  // byte-identical to the uninterrupted run's.
+  const auto resumed = recovered->ExecuteLog({demo_log.back()});
+  ok &= Check(resumed[0].status.ok() &&
+                  UlpDistance(resumed[0].value,
+                              reference_responses.back().value) == 0 &&
+                  resumed[0].model_version ==
+                      reference_responses.back().model_version,
+              "re-submitted final request answers byte-identically");
+
+  uint64_t recovered_model_ulp = 0;
+  const auto recovered_model = recovered->registry().Latest();
+  const auto reference_model = reference->registry().Latest();
+  for (size_t j = 0; j < recovered_model->omega.size(); ++j) {
+    recovered_model_ulp =
+        std::max(recovered_model_ulp, UlpDistance(recovered_model->omega[j],
+                                                  reference_model->omega[j]));
+  }
+  std::printf("    recovered model vs reference  : %llu ulp\n",
+              static_cast<unsigned long long>(recovered_model_ulp));
+  ok &= Check(recovered->objective().StoreStateBitwiseEquals(
+                  reference->objective()),
+              "recovered store bitwise == uninterrupted reference");
+  ok &= Check(recovered_model_ulp == 0 &&
+                  recovered->accountant().spent_epsilon() ==
+                      reference->accountant().spent_epsilon(),
+              "recovered model and ledger bitwise == reference");
+
+  recovered.reset();
+  fs::remove_all(scratch_dir, scratch_ec);
 
   std::printf("\n%s\n", ok ? "all serving-layer checks passed"
                            : "SERVING-LAYER CHECK FAILED");

@@ -1,0 +1,287 @@
+#include "common/io_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace fm::io {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  // Table-driven CRC-32 (IEEE 802.3, reflected 0xEDB88320). The table is
+  // computed once; the polynomial and reflection match zlib's crc32, so the
+  // on-disk format stays checkable with standard tools.
+  static const uint32_t* const kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void AppendDouble(std::string* out, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendBytes(std::string* out, const void* data, size_t size) {
+  // append(nullptr, 0) is formally UB; empty arrays pass a null pointer.
+  if (size > 0) out->append(static_cast<const char*>(data), size);
+}
+
+void AppendLengthPrefixed(std::string* out, const std::string& bytes) {
+  AppendU64(out, bytes.size());
+  out->append(bytes);
+}
+
+void AppendDoubleArray(std::string* out, const double* values, size_t count) {
+  for (size_t i = 0; i < count; ++i) AppendDouble(out, values[i]);
+}
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  if (remaining() < 1) return Status::IoError("buffer underrun reading u8");
+  *out = data_[offset_++];
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  if (remaining() < 4) return Status::IoError("buffer underrun reading u32");
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(data_[offset_ + static_cast<size_t>(i)])
+             << (8 * i);
+  }
+  offset_ += 4;
+  *out = value;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  if (remaining() < 8) return Status::IoError("buffer underrun reading u64");
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(data_[offset_ + static_cast<size_t>(i)])
+             << (8 * i);
+  }
+  offset_ += 8;
+  *out = value;
+  return Status::OK();
+}
+
+Status ByteReader::ReadDouble(double* out) {
+  uint64_t bits = 0;
+  FM_RETURN_NOT_OK(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::ReadBytes(void* out, size_t size) {
+  if (remaining() < size) {
+    return Status::IoError("buffer underrun reading " + std::to_string(size) +
+                           " bytes (have " + std::to_string(remaining()) +
+                           ")");
+  }
+  // memcpy requires non-null pointers even for size 0, and `out` is
+  // legitimately null when reading an empty array (vector::data()).
+  if (size > 0) {
+    std::memcpy(out, data_ + offset_, size);
+    offset_ += size;
+  }
+  return Status::OK();
+}
+
+Status ByteReader::ReadLengthPrefixed(std::string* out) {
+  uint64_t size = 0;
+  FM_RETURN_NOT_OK(ReadU64(&size));
+  if (remaining() < size) {
+    return Status::IoError("length-prefixed field claims " +
+                           std::to_string(size) + " bytes, only " +
+                           std::to_string(remaining()) + " remain");
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + offset_),
+              static_cast<size_t>(size));
+  offset_ += static_cast<size_t>(size);
+  return Status::OK();
+}
+
+Status ByteReader::ReadDoubleArray(std::vector<double>* out, size_t count) {
+  if (remaining() < count * sizeof(double)) {
+    return Status::IoError("buffer underrun reading " + std::to_string(count) +
+                           " doubles");
+  }
+  out->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    FM_RETURN_NOT_OK(ReadDouble(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(ErrnoMessage("open failed for", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError(ErrnoMessage("read failed for", path));
+  return out;
+}
+
+Status SyncFd(int fd) {
+  if (::fsync(fd) != 0) {
+    return Status::IoError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open failed for", tmp));
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError(ErrnoMessage("write failed for", tmp));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync) {
+    const Status synced = SyncFd(fd);
+    if (!synced.ok()) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return synced;
+    }
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("close failed for", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("rename failed for", tmp));
+  }
+  if (sync) {
+    // Make the rename itself durable: fsync the containing directory.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) return Status::IoError(ErrnoMessage("open failed for", dir));
+    const Status synced = SyncFd(dfd);
+    ::close(dfd);
+    FM_RETURN_NOT_OK(synced);
+  }
+  return Status::OK();
+}
+
+Status CreateDirectories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("create_directories failed for " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(path, ec);
+  if (ec) {
+    return Status::IoError("cannot list " + path + ": " + ec.message());
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec) && !ec) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    return Status::IoError("remove failed for " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IoError(ErrnoMessage("truncate failed for", path));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("file_size failed for " + path + ": " +
+                           ec.message());
+  }
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace fm::io

@@ -7,26 +7,30 @@ namespace fm::eval {
 
 namespace {
 
-// Both metrics, over an arbitrary row-index mapping. The per-row arithmetic
-// and the accumulation order depend only on the visiting sequence, which is
-// why the index-view overloads are bit-identical to materializing
-// dataset.Select(rows) first.
+// Adapts an arbitrary row-index mapping over a dataset into the streaming
+// row source the metrics.h templates consume. The per-row arithmetic lives
+// in ONE place (the streaming templates), so the index-view overloads here
+// and any other row source visiting the same sequence — e.g. the serving
+// store's live-slot iteration — are bit-identical by construction.
+template <typename RowAt>
+auto DatasetRows(const data::RegressionDataset& dataset, size_t count,
+                 RowAt row_at) {
+  return [&dataset, count, row_at](auto&& visit) {
+    for (size_t i = 0; i < count; ++i) {
+      const size_t r = row_at(i);
+      FM_CHECK(r < dataset.size());
+      visit(dataset.x.Row(r), dataset.y[r]);
+    }
+  };
+}
+
 template <typename RowAt>
 double MseOver(const linalg::Vector& omega,
                const data::RegressionDataset& dataset, size_t count,
                RowAt row_at) {
   FM_CHECK(count > 0 && omega.size() == dataset.dim());
-  double sum = 0.0;
-  for (size_t i = 0; i < count; ++i) {
-    const size_t r = row_at(i);
-    FM_CHECK(r < dataset.size());
-    const double* row = dataset.x.Row(r);
-    double pred = 0.0;
-    for (size_t j = 0; j < dataset.dim(); ++j) pred += row[j] * omega[j];
-    const double err = dataset.y[r] - pred;
-    sum += err * err;
-  }
-  return sum / static_cast<double>(count);
+  return MeanSquaredErrorStreaming(omega, count,
+                                   DatasetRows(dataset, count, row_at));
 }
 
 template <typename RowAt>
@@ -34,17 +38,8 @@ double MisclassificationOver(const linalg::Vector& omega,
                              const data::RegressionDataset& dataset,
                              size_t count, RowAt row_at) {
   FM_CHECK(count > 0 && omega.size() == dataset.dim());
-  size_t wrong = 0;
-  for (size_t i = 0; i < count; ++i) {
-    const size_t r = row_at(i);
-    FM_CHECK(r < dataset.size());
-    const double* row = dataset.x.Row(r);
-    double z = 0.0;
-    for (size_t j = 0; j < dataset.dim(); ++j) z += row[j] * omega[j];
-    const double predicted = opt::Sigmoid(z) > 0.5 ? 1.0 : 0.0;
-    if (predicted != dataset.y[r]) ++wrong;
-  }
-  return static_cast<double>(wrong) / static_cast<double>(count);
+  return MisclassificationRateStreaming(omega, count,
+                                        DatasetRows(dataset, count, row_at));
 }
 
 }  // namespace

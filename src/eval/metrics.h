@@ -2,13 +2,62 @@
 #define FM_EVAL_METRICS_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
 #include "data/normalizer.h"
 #include "linalg/vector.h"
+#include "opt/logistic_loss.h"
 
 namespace fm::eval {
+
+/// Streaming forms of the §7 metrics: `rows` is a callable invoked as
+/// `rows(visit)` that must call `visit(const double* x, double y)` once per
+/// tuple, in the scoring order. These templates hold the ONE definition of
+/// the per-row arithmetic and accumulation order — the dataset overloads
+/// below are thin adapters over them — so any row source that presents the
+/// same tuples in the same order (a materialized dataset, a fold-index
+/// view, the serving store's live-slot iteration) gets bit-identical
+/// results by construction.
+template <typename RowSource>
+double MeanSquaredErrorStreaming(const linalg::Vector& omega, size_t count,
+                                 RowSource&& rows) {
+  const size_t dim = omega.size();
+  double sum = 0.0;
+  rows([&](const double* row, double y) {
+    double pred = 0.0;
+    for (size_t j = 0; j < dim; ++j) pred += row[j] * omega[j];
+    const double err = y - pred;
+    sum += err * err;
+  });
+  return sum / static_cast<double>(count);
+}
+
+template <typename RowSource>
+double MisclassificationRateStreaming(const linalg::Vector& omega,
+                                      size_t count, RowSource&& rows) {
+  const size_t dim = omega.size();
+  size_t wrong = 0;
+  rows([&](const double* row, double y) {
+    double z = 0.0;
+    for (size_t j = 0; j < dim; ++j) z += row[j] * omega[j];
+    const double predicted = opt::Sigmoid(z) > 0.5 ? 1.0 : 0.0;
+    if (predicted != y) ++wrong;
+  });
+  return static_cast<double>(wrong) / static_cast<double>(count);
+}
+
+/// Dispatches to the task's streaming metric.
+template <typename RowSource>
+double TaskErrorStreaming(data::TaskKind task, const linalg::Vector& omega,
+                          size_t count, RowSource&& rows) {
+  return task == data::TaskKind::kLinear
+             ? MeanSquaredErrorStreaming(omega, count,
+                                         std::forward<RowSource>(rows))
+             : MisclassificationRateStreaming(omega, count,
+                                              std::forward<RowSource>(rows));
+}
 
 /// §7's linear-task accuracy metric: (1/n) Σ (y_i − x_iᵀω)².
 double MeanSquaredError(const linalg::Vector& omega,

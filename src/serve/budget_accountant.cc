@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
+#include "common/logging.h"
 #include "dp/budget.h"
 
 namespace fm::serve {
@@ -68,6 +70,30 @@ Status BudgetAccountant::Commit(uint64_t reservation, double actual_epsilon) {
   return Status::OK();
 }
 
+Status BudgetAccountant::Settle(uint64_t reservation, double actual_epsilon) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pending_.find(reservation);
+  if (it == pending_.end()) {
+    return Status::NotFound("unknown or already-settled reservation " +
+                            std::to_string(reservation));
+  }
+  // The reservation is released below on every path — settled exactly once.
+  reserved_epsilon_ -= it->second.epsilon;
+  Status outcome = dp::ValidateEpsilon(actual_epsilon);
+  if (outcome.ok() && actual_epsilon > it->second.epsilon + kSlack) {
+    outcome = Status::InvalidArgument(
+        "commit of " + FormatEpsilon(actual_epsilon) +
+        " exceeds the reserved " + FormatEpsilon(it->second.epsilon) + " (" +
+        it->second.label + "); reservation released, nothing spent");
+  }
+  if (outcome.ok()) {
+    spent_epsilon_ += actual_epsilon;
+    charges_.push_back(ChargeRecord{actual_epsilon, it->second.label});
+  }
+  pending_.erase(it);
+  return outcome;
+}
+
 Status BudgetAccountant::Abort(uint64_t reservation) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = pending_.find(reservation);
@@ -109,6 +135,46 @@ std::vector<BudgetAccountant::ChargeRecord> BudgetAccountant::charges()
 size_t BudgetAccountant::pending_reservations() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_.size();
+}
+
+void BudgetAccountant::SerializeTo(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FM_CHECK(pending_.empty());  // checkpoints run at request boundaries
+  io::AppendDouble(out, total_epsilon_);
+  io::AppendDouble(out, spent_epsilon_);
+  io::AppendU64(out, next_reservation_);
+  io::AppendU64(out, charges_.size());
+  for (const ChargeRecord& charge : charges_) {
+    io::AppendDouble(out, charge.epsilon);
+    io::AppendLengthPrefixed(out, charge.label);
+  }
+}
+
+Status BudgetAccountant::RestoreFrom(io::ByteReader& reader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  double spent = 0.0;
+  uint64_t next_reservation = 0;
+  uint64_t charge_count = 0;
+  FM_RETURN_NOT_OK(reader.ReadDouble(&total));
+  FM_RETURN_NOT_OK(reader.ReadDouble(&spent));
+  FM_RETURN_NOT_OK(reader.ReadU64(&next_reservation));
+  FM_RETURN_NOT_OK(reader.ReadU64(&charge_count));
+  std::vector<ChargeRecord> charges;
+  charges.reserve(static_cast<size_t>(charge_count));
+  for (uint64_t i = 0; i < charge_count; ++i) {
+    ChargeRecord charge;
+    FM_RETURN_NOT_OK(reader.ReadDouble(&charge.epsilon));
+    FM_RETURN_NOT_OK(reader.ReadLengthPrefixed(&charge.label));
+    charges.push_back(std::move(charge));
+  }
+  total_epsilon_ = total;
+  spent_epsilon_ = spent;
+  reserved_epsilon_ = 0.0;
+  next_reservation_ = next_reservation;
+  pending_.clear();
+  charges_ = std::move(charges);
+  return Status::OK();
 }
 
 }  // namespace fm::serve

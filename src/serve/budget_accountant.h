@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -66,6 +67,16 @@ class BudgetAccountant {
   /// Releases the whole reservation; nothing is spent.
   Status Abort(uint64_t reservation);
 
+  /// Settles a reservation in one critical section: commits
+  /// `actual_epsilon` when it fits the reservation, otherwise releases the
+  /// whole reservation and returns the root-cause error. Either way the
+  /// reservation is settled exactly once — unlike a Commit-then-Abort
+  /// sequence, which on a commit failure leaves the caller holding two
+  /// statuses and a second settle attempt against an id the first call may
+  /// already have erased. Returns OK exactly when the commit happened;
+  /// kNotFound for an unknown/already-settled id (ledger unchanged).
+  Status Settle(uint64_t reservation, double actual_epsilon);
+
   double total_epsilon() const;
   /// Committed spend.
   double spent_epsilon() const;
@@ -83,6 +94,19 @@ class BudgetAccountant {
   /// All committed charges, in commit order (copied under the lock).
   std::vector<ChargeRecord> charges() const;
   size_t pending_reservations() const;
+
+  /// Appends the ledger — totals, spent, charge history, reservation
+  /// counter — to `out` (snapshot payload). Checkpoints happen at request
+  /// boundaries where no reservation is in flight; pending reservations are
+  /// deliberately not serialized and serialization fails a FM_CHECK when
+  /// any exist.
+  void SerializeTo(std::string* out) const;
+
+  /// Replaces this ledger's state with a SerializeTo payload read from
+  /// `reader`. Restored spent/total values are bit-exact, so post-recovery
+  /// budget arithmetic (and its formatted diagnostics) matches the
+  /// uninterrupted service byte for byte.
+  Status RestoreFrom(io::ByteReader& reader);
 
  private:
   explicit BudgetAccountant(double total_epsilon)

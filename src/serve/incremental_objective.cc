@@ -322,6 +322,7 @@ opt::QuadraticModel IncrementalObjective::Objective() const {
 }
 
 data::RegressionDataset IncrementalObjective::Materialize() const {
+  ++materialize_count_;
   data::RegressionDataset out;
   out.x = linalg::Matrix(live_count_, dim_);
   out.y = linalg::Vector(live_count_);
@@ -384,6 +385,77 @@ bool IncrementalObjective::StoreStateBitwiseEquals(
     }
   }
   return true;
+}
+
+void IncrementalObjective::SerializeTo(std::string* out) const {
+  io::AppendU64(out, dim_);
+  io::AppendU8(out, static_cast<uint8_t>(kind_));
+  io::AppendU64(out, next_id_);
+  io::AppendU64(out, live_count_);
+  io::AppendU64(out, ys_.size());
+  io::AppendDoubleArray(out, xs_.data(), xs_.size());
+  io::AppendDoubleArray(out, ys_.data(), ys_.size());
+  io::AppendBytes(out, live_.data(), live_.size());
+  for (const TupleId id : slot_to_id_) io::AppendU64(out, id);
+  io::AppendU64(out, shard_sums_.size());
+  for (size_t s = 0; s < shard_sums_.size(); ++s) {
+    io::AppendDoubleArray(out, shard_sums_[s].data(), shard_sums_[s].size());
+    io::AppendDoubleArray(out, shard_comps_[s].data(),
+                          shard_comps_[s].size());
+    io::AppendU32(out, shard_live_[s]);
+  }
+}
+
+Status IncrementalObjective::RestoreFrom(io::ByteReader& reader) {
+  uint64_t dim = 0;
+  uint8_t kind = 0;
+  FM_RETURN_NOT_OK(reader.ReadU64(&dim));
+  FM_RETURN_NOT_OK(reader.ReadU8(&kind));
+  if (dim != dim_ || static_cast<core::ObjectiveKind>(kind) != kind_) {
+    return Status::IoError(
+        "snapshot store dimensionality/kind does not match this service");
+  }
+  uint64_t next_id = 0;
+  uint64_t live_count = 0;
+  uint64_t slots = 0;
+  FM_RETURN_NOT_OK(reader.ReadU64(&next_id));
+  FM_RETURN_NOT_OK(reader.ReadU64(&live_count));
+  FM_RETURN_NOT_OK(reader.ReadU64(&slots));
+  if (live_count > slots) {
+    return Status::IoError("snapshot live count exceeds its slot count");
+  }
+  next_id_ = next_id;
+  live_count_ = static_cast<size_t>(live_count);
+  const size_t slot_count = static_cast<size_t>(slots);
+  FM_RETURN_NOT_OK(reader.ReadDoubleArray(&xs_, slot_count * dim_));
+  FM_RETURN_NOT_OK(reader.ReadDoubleArray(&ys_, slot_count));
+  live_.resize(slot_count);
+  FM_RETURN_NOT_OK(reader.ReadBytes(live_.data(), slot_count));
+  slot_to_id_.resize(slot_count);
+  for (size_t i = 0; i < slot_count; ++i) {
+    FM_RETURN_NOT_OK(reader.ReadU64(&slot_to_id_[i]));
+    if (i > 0 && slot_to_id_[i] <= slot_to_id_[i - 1]) {
+      return Status::IoError("snapshot id table is not strictly increasing");
+    }
+  }
+  uint64_t shards = 0;
+  FM_RETURN_NOT_OK(reader.ReadU64(&shards));
+  const size_t expected_shards =
+      (slot_count + core::kObjectiveShardRows - 1) / core::kObjectiveShardRows;
+  if (shards != expected_shards) {
+    return Status::IoError("snapshot shard count does not match its slots");
+  }
+  shard_sums_.resize(static_cast<size_t>(shards));
+  shard_comps_.resize(static_cast<size_t>(shards));
+  shard_live_.resize(static_cast<size_t>(shards));
+  for (size_t s = 0; s < shard_sums_.size(); ++s) {
+    FM_RETURN_NOT_OK(
+        reader.ReadDoubleArray(&shard_sums_[s], num_coefficients()));
+    FM_RETURN_NOT_OK(
+        reader.ReadDoubleArray(&shard_comps_[s], num_coefficients()));
+    FM_RETURN_NOT_OK(reader.ReadU32(&shard_live_[s]));
+  }
+  return Status::OK();
 }
 
 }  // namespace fm::serve

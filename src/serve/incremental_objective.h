@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/objective_accumulator.h"
@@ -153,6 +154,33 @@ class IncrementalObjective {
   /// The live tuples, densely packed in slot (= id) order. O(n · d).
   data::RegressionDataset Materialize() const;
 
+  /// Visits every live tuple in slot (= id) order as
+  /// `fn(const double* x, double y)` — the exact sequence Materialize()
+  /// packs, with zero allocation. Service::DoEvaluate scores through this
+  /// view so an evaluate request never pays the O(n · d) copy.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (size_t slot = 0; slot < ys_.size(); ++slot) {
+      if (!live_[slot]) continue;
+      fn(xs_.data() + slot * dim_, ys_[slot]);
+    }
+  }
+
+  /// Number of Materialize() calls on this store — the churn soak asserts
+  /// the serving path stays at zero (evaluate must use ForEachLive).
+  uint64_t materialize_count() const { return materialize_count_; }
+
+  /// Appends the full store state — tuples, liveness, id table, shard
+  /// partials, raw double bytes — to `out` (snapshot payload). RestoreFrom
+  /// reproduces the state bit-for-bit: the restored store
+  /// StoreStateBitwiseEquals the original and assigns the same future ids.
+  void SerializeTo(std::string* out) const;
+
+  /// Replaces this store's state with a SerializeTo payload read from
+  /// `reader`. On failure the store is left in an unspecified state — the
+  /// caller (snapshot recovery) discards it.
+  Status RestoreFrom(io::ByteReader& reader);
+
   /// From-scratch reference rebuild: a fresh IncrementalObjective holding
   /// the same slots (including holes) and ids re-accumulated from the raw
   /// tuples on `pool`. By the class invariant its state — and therefore
@@ -214,6 +242,10 @@ class IncrementalObjective {
   std::vector<std::vector<double>> shard_sums_;
   std::vector<std::vector<double>> shard_comps_;
   std::vector<uint32_t> shard_live_;
+  // Materialize() call counter (diagnostic; see materialize_count()).
+  // `mutable` because Materialize is const; reads/writes are serialized by
+  // the same external synchronization the mutation API requires.
+  mutable uint64_t materialize_count_ = 0;
 };
 
 }  // namespace fm::serve

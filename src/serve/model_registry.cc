@@ -1,6 +1,8 @@
 #include "serve/model_registry.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace fm::serve {
 
@@ -40,6 +42,59 @@ uint64_t ModelRegistry::latest_version() const {
 size_t ModelRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return history_.size();
+}
+
+void ModelRegistry::SerializeTo(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  io::AppendU64(out, next_version_);
+  io::AppendU64(out, history_.size());
+  for (const auto& snapshot : history_) {
+    io::AppendU64(out, snapshot->version);
+    io::AppendLengthPrefixed(out, snapshot->algorithm);
+    io::AppendU8(out, static_cast<uint8_t>(snapshot->task));
+    io::AppendU64(out, snapshot->omega.size());
+    io::AppendDoubleArray(out, snapshot->omega.raw(),
+                          snapshot->omega.size());
+    io::AppendDouble(out, snapshot->epsilon_spent);
+    io::AppendU8(out, snapshot->is_private ? 1 : 0);
+    io::AppendU64(out, snapshot->log_position);
+    io::AppendU64(out, snapshot->trained_on);
+  }
+}
+
+Status ModelRegistry::RestoreFrom(io::ByteReader& reader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t next_version = 0;
+  uint64_t count = 0;
+  FM_RETURN_NOT_OK(reader.ReadU64(&next_version));
+  FM_RETURN_NOT_OK(reader.ReadU64(&count));
+  std::deque<std::shared_ptr<const ModelSnapshot>> history;
+  for (uint64_t i = 0; i < count; ++i) {
+    ModelSnapshot snapshot;
+    uint8_t task = 0;
+    uint8_t is_private = 0;
+    uint64_t dim = 0;
+    FM_RETURN_NOT_OK(reader.ReadU64(&snapshot.version));
+    FM_RETURN_NOT_OK(reader.ReadLengthPrefixed(&snapshot.algorithm));
+    FM_RETURN_NOT_OK(reader.ReadU8(&task));
+    snapshot.task = static_cast<data::TaskKind>(task);
+    FM_RETURN_NOT_OK(reader.ReadU64(&dim));
+    std::vector<double> omega;
+    FM_RETURN_NOT_OK(reader.ReadDoubleArray(&omega,
+                                            static_cast<size_t>(dim)));
+    snapshot.omega = linalg::Vector(std::move(omega));
+    FM_RETURN_NOT_OK(reader.ReadDouble(&snapshot.epsilon_spent));
+    FM_RETURN_NOT_OK(reader.ReadU8(&is_private));
+    snapshot.is_private = is_private != 0;
+    FM_RETURN_NOT_OK(reader.ReadU64(&snapshot.log_position));
+    FM_RETURN_NOT_OK(reader.ReadU64(&snapshot.trained_on));
+    history.push_back(
+        std::make_shared<const ModelSnapshot>(std::move(snapshot)));
+  }
+  next_version_ = next_version;
+  history_ = std::move(history);
+  while (history_.size() > max_history_) history_.pop_front();
+  return Status::OK();
 }
 
 }  // namespace fm::serve

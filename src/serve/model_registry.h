@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "data/normalizer.h"
@@ -60,6 +61,15 @@ class ModelRegistry {
   uint64_t latest_version() const;
   /// Versions currently retained.
   size_t size() const;
+
+  /// Appends every retained version — coefficients as raw double bytes —
+  /// plus the version counter to `out` (snapshot payload).
+  void SerializeTo(std::string* out) const;
+
+  /// Replaces this registry's contents with a SerializeTo payload read from
+  /// `reader`. Restored ω vectors are bit-exact, so predictions served
+  /// after recovery match the uninterrupted service byte for byte.
+  Status RestoreFrom(io::ByteReader& reader);
 
  private:
   mutable std::mutex mutex_;

@@ -6,11 +6,14 @@
 
 #include "baselines/fm_algorithm.h"
 #include "baselines/no_privacy.h"
+#include "common/io_util.h"
 #include "core/fm_linear.h"
 #include "core/fm_logistic.h"
 #include "dp/budget.h"
 #include "eval/metrics.h"
 #include "exec/parallel.h"
+#include "serve/snapshot.h"
+#include "serve/wal.h"
 
 namespace fm::serve {
 
@@ -84,6 +87,9 @@ Service::Service(const ServiceOptions& options,
       accountant_(std::move(accountant)),
       registry_(options.max_model_history) {}
 
+// Out of line: Wal and DurabilityOptions are incomplete in the header.
+Service::~Service() = default;
+
 Result<std::unique_ptr<Service>> Service::Create(
     const ServiceOptions& options) {
   if (options.dim == 0) {
@@ -108,13 +114,34 @@ exec::ThreadPool& Service::pool() const {
 }
 
 Status Service::Bootstrap(const data::RegressionDataset& initial) {
+  std::lock_guard<std::mutex> lock(execute_mutex_);
   if (initial.size() == 0) return Status::OK();
   return objective_.InsertBatch(initial, &pool()).status();
 }
 
 std::vector<Response> Service::ExecuteLog(const std::vector<Request>& log) {
+  std::lock_guard<std::mutex> lock(execute_mutex_);
+  return ExecuteLogLocked(log, /*append_to_wal=*/true);
+}
+
+std::vector<Response> Service::ExecuteLogLocked(
+    const std::vector<Request>& log, bool append_to_wal) {
   std::vector<Response> out(log.size());
-  const uint64_t base = next_position_;
+  const uint64_t base = next_position_.load(std::memory_order_relaxed);
+  if (append_to_wal && wal_ != nullptr && !log.empty()) {
+    // WAL-before-state: the whole batch becomes durable (one group commit)
+    // before anything executes. If it cannot, nothing executes — no log
+    // position is consumed and no state changes — and every request
+    // reports the root-cause IO error.
+    for (size_t i = 0; i < log.size(); ++i) {
+      wal_->Append(base + i, log[i]);
+    }
+    const Status committed = wal_->Commit();
+    if (!committed.ok()) {
+      for (Response& r : out) r.status = committed;
+      return out;
+    }
+  }
   size_t i = 0;
   while (i < log.size()) {
     const RequestKind kind = log[i].kind;
@@ -152,7 +179,8 @@ std::vector<Response> Service::ExecuteLog(const std::vector<Request>& log) {
     }
     ++i;
   }
-  next_position_ = base + log.size();
+  next_position_.store(base + log.size(), std::memory_order_release);
+  MaybeAutoCheckpointLocked();
   return out;
 }
 
@@ -164,13 +192,19 @@ uint64_t Service::Enqueue(Request request) {
 }
 
 std::vector<Response> Service::Drain() {
+  // Take the execution mutex before swapping the queue out: two racing
+  // Drain calls then claim and execute their batches strictly one after
+  // the other, in ticket order — with the swap outside the mutex a thread
+  // could claim batch k+1 and execute it before (or interleaved with) the
+  // thread holding batch k.
+  std::lock_guard<std::mutex> lock(execute_mutex_);
   std::vector<Request> batch;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
     batch.swap(queue_);
     queue_base_ += batch.size();
   }
-  return ExecuteLog(batch);
+  return ExecuteLogLocked(batch, /*append_to_wal=*/true);
 }
 
 Response Service::DoInsert(const Request& request) {
@@ -319,20 +353,29 @@ Response Service::DoTrain(const Request& request, uint64_t position) {
   const Result<baselines::TrainedModel> trained =
       TrainWith(request, options_, objective_.Objective(), rng);
   if (!trained.ok()) {
-    if (is_private) accountant_->Abort(reservation);
     r.status = trained.status();
+    if (is_private) {
+      const Status aborted = accountant_->Abort(reservation);
+      if (!aborted.ok()) {
+        // A reservation this handler just made can only fail to abort if
+        // the ledger is corrupted — surface both problems, never drop one.
+        r.status = Status::Internal(
+            "train failed (" + trained.status().ToString() +
+            ") and releasing its reservation also failed (" +
+            aborted.ToString() + ")");
+      }
+    }
     return r;
   }
 
   const baselines::TrainedModel& model = trained.ValueOrDie();
   if (is_private) {
-    const Status committed =
-        accountant_->Commit(reservation, model.epsilon_spent);
-    if (!committed.ok()) {
-      accountant_->Abort(reservation);
-      r.status = committed;
-      return r;
-    }
+    // Settle commits-or-releases in one step, so the reservation is
+    // settled exactly once and a failed commit reports its root cause —
+    // the old Commit-then-Abort sequence double-settled and could mask
+    // the commit error with Abort's kNotFound.
+    r.status = accountant_->Settle(reservation, model.epsilon_spent);
+    if (!r.status.ok()) return r;
   }
 
   ModelSnapshot snapshot;
@@ -397,11 +440,154 @@ Response Service::DoEvaluate() {
     return r;
   }
   // Online validation through the §7 metrics: the latest model scored over
-  // the current live tuples (MSE or misclassification rate per the task).
-  const data::RegressionDataset live = objective_.Materialize();
+  // the current live tuples (MSE or misclassification rate per the task),
+  // streamed straight out of the store's slots. ForEachLive visits exactly
+  // the sequence Materialize() would pack and the streaming metrics share
+  // their per-row arithmetic with the dataset overloads, so the score is
+  // bit-identical to materializing first — without the O(n · d) copy an
+  // evaluate request used to allocate.
   r.model_version = snapshot->version;
-  r.value = eval::TaskError(options_.task, snapshot->omega, live);
+  r.value = eval::TaskErrorStreaming(
+      options_.task, snapshot->omega, objective_.live_size(),
+      [this](auto&& visit) { objective_.ForEachLive(visit); });
   return r;
+}
+
+Status Service::EnableDurability(const DurabilityOptions& durability) {
+  std::lock_guard<std::mutex> lock(execute_mutex_);
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("durability is already enabled");
+  }
+  if (durability.wal.path.empty()) {
+    return Status::InvalidArgument("DurabilityOptions.wal.path is empty");
+  }
+  if (io::FileSize(durability.wal.path).ok()) {
+    return Status::AlreadyExists(
+        "WAL " + durability.wal.path +
+        " already exists — use Service::Recover to reattach durable state");
+  }
+  const bool has_state = objective_.slot_count() > 0 ||
+                         next_position_.load(std::memory_order_relaxed) > 0 ||
+                         registry_.latest_version() > 0;
+  if (has_state && durability.snapshot_dir.empty()) {
+    return Status::InvalidArgument(
+        "service already holds state (Bootstrap data never flows through "
+        "the log) — durability needs a snapshot_dir for the base "
+        "checkpoint");
+  }
+  options_fingerprint_ = OptionsFingerprint(options_);
+  FM_ASSIGN_OR_RETURN(wal_, Wal::Open(durability.wal, options_fingerprint_));
+  durability_ = std::make_unique<DurabilityOptions>(durability);
+  last_checkpoint_position_ = next_position_.load(std::memory_order_relaxed);
+  if (!durability_->snapshot_dir.empty()) {
+    // Base checkpoint: captures whatever exists now (typically Bootstrap
+    // data), so recovery never needs to re-run Bootstrap.
+    const Status checkpointed = CheckpointLocked();
+    if (!checkpointed.ok()) {
+      wal_.reset();
+      durability_.reset();
+      return checkpointed;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Service>> Service::Recover(
+    const ServiceOptions& options, const DurabilityOptions& durability) {
+  FM_ASSIGN_OR_RETURN(std::unique_ptr<Service> service, Create(options));
+  service->options_fingerprint_ = OptionsFingerprint(options);
+
+  // 1. Newest valid snapshot, if checkpoints were taken. Corrupt or torn
+  //    snapshot files are skipped inside LoadLatestSnapshot.
+  uint64_t snapshot_position = 0;
+  if (!durability.snapshot_dir.empty()) {
+    Result<SnapshotContents> snapshot = LoadLatestSnapshot(
+        durability.snapshot_dir, service->options_fingerprint_);
+    if (snapshot.ok()) {
+      const SnapshotContents& contents = snapshot.ValueOrDie();
+      FM_RETURN_NOT_OK(DecodeSnapshotComponents(
+          contents.components, &service->objective_,
+          service->accountant_.get(), &service->registry_));
+      service->next_position_.store(contents.next_position,
+                                    std::memory_order_relaxed);
+      service->compaction_count_.store(contents.compaction_count,
+                                       std::memory_order_relaxed);
+      snapshot_position = contents.next_position;
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      return snapshot.status();
+    }
+  }
+
+  // 2. Replay the WAL tail — records the snapshot has not covered —
+  //    through the ordinary execution path. Recovery = replay: state after
+  //    this loop is a pure function of (snapshot, tail), bitwise.
+  const Result<WalReplay> replay =
+      Wal::ReadAll(durability.wal.path, service->options_fingerprint_);
+  if (replay.ok()) {
+    std::vector<Request> tail;
+    for (const WalRecord& record : replay.ValueOrDie().records) {
+      if (record.position < snapshot_position) continue;
+      if (record.position != snapshot_position + tail.size()) {
+        return Status::IoError(
+            "WAL tail is not contiguous at position " +
+            std::to_string(record.position) + " (expected " +
+            std::to_string(snapshot_position + tail.size()) + ")");
+      }
+      tail.push_back(record.request);
+    }
+    if (!tail.empty()) {
+      service->ExecuteLogLocked(tail, /*append_to_wal=*/false);
+    }
+  } else if (replay.status().code() != StatusCode::kNotFound) {
+    // A missing WAL with a valid snapshot is fine (the log can be rotated
+    // away after a checkpoint); anything else is a real failure.
+    return replay.status();
+  }
+
+  // 3. Attach the WAL for appending; Open truncates any torn tail so new
+  //    records land on a record boundary.
+  FM_ASSIGN_OR_RETURN(service->wal_,
+                      Wal::Open(durability.wal, service->options_fingerprint_));
+  service->durability_ = std::make_unique<DurabilityOptions>(durability);
+  service->last_checkpoint_position_ = snapshot_position;
+  return service;
+}
+
+Status Service::Checkpoint() {
+  std::lock_guard<std::mutex> lock(execute_mutex_);
+  return CheckpointLocked();
+}
+
+Status Service::CheckpointLocked() {
+  if (durability_ == nullptr || durability_->snapshot_dir.empty()) {
+    return Status::FailedPrecondition(
+        "checkpoints need durability enabled with a snapshot_dir");
+  }
+  const uint64_t position = next_position_.load(std::memory_order_relaxed);
+  const std::string payload = EncodeSnapshot(
+      objective_, *accountant_, registry_, position,
+      compaction_count_.load(std::memory_order_relaxed));
+  FM_RETURN_NOT_OK(WriteSnapshotFile(
+      durability_->snapshot_dir, position, options_fingerprint_, payload,
+      /*sync=*/durability_->wal.sync != WalSyncMode::kNone));
+  FM_RETURN_NOT_OK(
+      PruneSnapshots(durability_->snapshot_dir, durability_->snapshot_keep));
+  last_checkpoint_position_ = position;
+  return Status::OK();
+}
+
+void Service::MaybeAutoCheckpointLocked() {
+  if (durability_ == nullptr || durability_->snapshot_dir.empty() ||
+      durability_->snapshot_every == 0) {
+    return;
+  }
+  const uint64_t position = next_position_.load(std::memory_order_relaxed);
+  if (position - last_checkpoint_position_ >= durability_->snapshot_every) {
+    // Best effort: a failed auto-checkpoint must not fail the batch that
+    // triggered it — the WAL already holds every record, so recovery just
+    // replays a longer tail.
+    (void)CheckpointLocked();
+  }
 }
 
 }  // namespace fm::serve

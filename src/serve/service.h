@@ -1,6 +1,7 @@
 #ifndef FM_SERVE_SERVICE_H_
 #define FM_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,9 @@ class ThreadPool;
 }  // namespace fm::exec
 
 namespace fm::serve {
+
+class Wal;                 // serve/wal.h
+struct DurabilityOptions;  // serve/wal.h
 
 /// Which trainer a kTrain request runs. All three consume the live tuples
 /// only through the maintained quadratic objective (the
@@ -142,6 +146,21 @@ class Service {
   /// positive compaction ratio when auto-compaction is on).
   static Result<std::unique_ptr<Service>> Create(const ServiceOptions& options);
 
+  /// Rebuilds a service from its durable state: load the newest valid
+  /// snapshot under `durability.snapshot_dir` (if any), replay the WAL tail
+  /// — every record at a position the snapshot has not covered — through
+  /// the ordinary execution path, then attach the WAL for appending
+  /// (truncating any torn tail record a crash left). Because the serving
+  /// state is a pure function of the request log, the recovered service is
+  /// bitwise-equal to the uninterrupted one up to the last durable record:
+  /// StoreStateBitwiseEquals holds and every subsequent response is
+  /// byte-identical (tests/wal_test.cc proves this with crash injection).
+  /// `options` must match the ones the durable state was written with (an
+  /// options fingerprint in both file formats enforces it).
+  static Result<std::unique_ptr<Service>> Recover(
+      const ServiceOptions& options, const DurabilityOptions& durability);
+
+  ~Service();
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
@@ -151,8 +170,32 @@ class Service {
   /// contract like any insert.
   Status Bootstrap(const data::RegressionDataset& initial);
 
+  /// Makes this service durable from here on: every subsequent ExecuteLog
+  /// batch is appended to the write-ahead log (and group-committed per the
+  /// WalOptions sync mode) *before* it executes, and checkpoints serialize
+  /// the full state to `durability.snapshot_dir`. Call on a freshly created
+  /// (possibly Bootstrapped) service; fails with kAlreadyExists when the
+  /// WAL file already exists — reattaching to durable state is Recover's
+  /// job. Bootstrap data does not flow through the log, so a service with
+  /// any pre-existing state requires a snapshot dir (a base checkpoint is
+  /// written immediately to cover it).
+  Status EnableDurability(const DurabilityOptions& durability);
+
+  /// Writes a snapshot of the current state now (durability with a
+  /// snapshot dir must be enabled). Also runs automatically every
+  /// `DurabilityOptions::snapshot_every` log positions.
+  Status Checkpoint();
+
+  /// The attached WAL, or nullptr when durability is off (stats/tests).
+  const Wal* wal() const { return wal_.get(); }
+
   /// Executes `log` in order with batched parallelism (see class comment)
-  /// and returns one Response per request, in log order.
+  /// and returns one Response per request, in log order. Thread-safe:
+  /// concurrent callers serialize on an internal execution mutex, so two
+  /// racing ExecuteLog/Drain calls execute their batches back to back,
+  /// never interleaved. When durability is enabled the batch is appended
+  /// and committed to the WAL first; if that fails, nothing executes and
+  /// every response carries the IO error.
   std::vector<Response> ExecuteLog(const std::vector<Request>& log);
 
   /// Thread-safe request submission for concurrent clients: appends to the
@@ -165,16 +208,24 @@ class Service {
   uint64_t Enqueue(Request request);
 
   /// Drains the queue in ticket order through ExecuteLog and returns the
-  /// drained requests' responses (ticket order). Call from one thread at a
-  /// time; Enqueue may race with it (requests enqueued during a drain land
-  /// in the next one).
+  /// drained requests' responses (ticket order). Thread-safe: racing Drain
+  /// calls serialize on the execution mutex — the queue swap happens under
+  /// it, so each drained batch executes atomically in ticket order. Enqueue
+  /// may race with it (requests enqueued during a drain land in the next
+  /// one).
   std::vector<Response> Drain();
 
-  /// Log positions consumed so far.
-  uint64_t log_position() const { return next_position_; }
+  /// Log positions consumed so far. Safe to read concurrently with an
+  /// in-flight Drain/ExecuteLog (atomic; updated once per executed batch).
+  uint64_t log_position() const {
+    return next_position_.load(std::memory_order_acquire);
+  }
   /// Compactions performed so far (auto-triggered or explicit) that
-  /// actually reclaimed slots.
-  uint64_t compaction_count() const { return compaction_count_; }
+  /// actually reclaimed slots. Safe to read concurrently, like
+  /// log_position().
+  uint64_t compaction_count() const {
+    return compaction_count_.load(std::memory_order_acquire);
+  }
 
   const IncrementalObjective& objective() const { return objective_; }
   const BudgetAccountant& accountant() const { return *accountant_; }
@@ -186,6 +237,15 @@ class Service {
                    std::unique_ptr<BudgetAccountant> accountant);
 
   exec::ThreadPool& pool() const;
+
+  // The real engine; requires execute_mutex_. `append_to_wal` is false
+  // only during Recover's replay — those records are already in the log.
+  std::vector<Response> ExecuteLogLocked(const std::vector<Request>& log,
+                                         bool append_to_wal);
+
+  // Checkpoint body; requires execute_mutex_ and enabled durability.
+  Status CheckpointLocked();
+  void MaybeAutoCheckpointLocked();
 
   // Handlers; `position` is the request's absolute log position.
   Response DoInsert(const Request& request);
@@ -212,8 +272,18 @@ class Service {
   IncrementalObjective objective_;
   std::unique_ptr<BudgetAccountant> accountant_;
   ModelRegistry registry_;
-  uint64_t next_position_ = 0;
-  uint64_t compaction_count_ = 0;
+  // Serializes all execution (ExecuteLog, Drain, Checkpoint,
+  // EnableDurability) so racing callers cannot interleave batches; the
+  // counters below stay atomic so the read-only accessors need not take it.
+  std::mutex execute_mutex_;
+  std::atomic<uint64_t> next_position_{0};
+  std::atomic<uint64_t> compaction_count_{0};
+
+  // Durability (null until EnableDurability/Recover).
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<DurabilityOptions> durability_;
+  uint64_t options_fingerprint_ = 0;
+  uint64_t last_checkpoint_position_ = 0;
 
   std::mutex queue_mutex_;
   std::vector<Request> queue_;

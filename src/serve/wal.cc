@@ -1,0 +1,312 @@
+#include "serve/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "common/io_util.h"
+
+namespace fm::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'M', 'W', 'A', 'L', '0', '0', '1'};
+constexpr uint32_t kFormatVersion = 1;
+// magic + u32 version + u32 reserved + u64 fingerprint.
+constexpr uint64_t kHeaderBytes = 8 + 4 + 4 + 8;
+// u32 payload_len + u32 crc + u64 position.
+constexpr uint64_t kRecordHeaderBytes = 4 + 4 + 8;
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string EncodeHeader(uint64_t fingerprint) {
+  std::string out;
+  io::AppendBytes(&out, kMagic, sizeof(kMagic));
+  io::AppendU32(&out, kFormatVersion);
+  io::AppendU32(&out, 0);  // reserved
+  io::AppendU64(&out, fingerprint);
+  return out;
+}
+
+Status CheckHeader(const std::string& file, uint64_t fingerprint) {
+  if (file.size() < kHeaderBytes) {
+    return Status::IoError("WAL header truncated (" +
+                           std::to_string(file.size()) + " bytes)");
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("WAL magic mismatch — not a FMWAL001 file");
+  }
+  io::ByteReader reader(file.data() + sizeof(kMagic),
+                        file.size() - sizeof(kMagic));
+  uint32_t version = 0;
+  uint32_t reserved = 0;
+  uint64_t file_fingerprint = 0;
+  FM_RETURN_NOT_OK(reader.ReadU32(&version));
+  FM_RETURN_NOT_OK(reader.ReadU32(&reserved));
+  FM_RETURN_NOT_OK(reader.ReadU64(&file_fingerprint));
+  if (version != kFormatVersion) {
+    return Status::IoError("WAL format version " + std::to_string(version) +
+                           " unsupported (want " +
+                           std::to_string(kFormatVersion) + ")");
+  }
+  if (file_fingerprint != fingerprint) {
+    return Status::IoError(
+        "WAL options fingerprint mismatch: the log was written by a service "
+        "with different options (dim/task/seed/...) than this one");
+  }
+  return Status::OK();
+}
+
+std::string EncodeRequestPayload(const Request& request) {
+  std::string out;
+  io::AppendU8(&out, static_cast<uint8_t>(request.kind));
+  io::AppendU8(&out, static_cast<uint8_t>(request.trainer));
+  io::AppendDouble(&out, request.epsilon);
+  io::AppendDouble(&out, request.y);
+  io::AppendU64(&out, request.id);
+  io::AppendU64(&out, request.x.size());
+  io::AppendDoubleArray(&out, request.x.raw(), request.x.size());
+  return out;
+}
+
+Status DecodeRequestPayload(const std::string& payload, Request* out) {
+  io::ByteReader reader(payload);
+  uint8_t kind = 0;
+  uint8_t trainer = 0;
+  FM_RETURN_NOT_OK(reader.ReadU8(&kind));
+  FM_RETURN_NOT_OK(reader.ReadU8(&trainer));
+  if (kind > static_cast<uint8_t>(RequestKind::kCompact)) {
+    return Status::IoError("WAL record holds unknown request kind " +
+                           std::to_string(kind));
+  }
+  if (trainer > static_cast<uint8_t>(TrainerKind::kNoPrivacy)) {
+    return Status::IoError("WAL record holds unknown trainer kind " +
+                           std::to_string(trainer));
+  }
+  out->kind = static_cast<RequestKind>(kind);
+  out->trainer = static_cast<TrainerKind>(trainer);
+  FM_RETURN_NOT_OK(reader.ReadDouble(&out->epsilon));
+  FM_RETURN_NOT_OK(reader.ReadDouble(&out->y));
+  FM_RETURN_NOT_OK(reader.ReadU64(&out->id));
+  uint64_t dim = 0;
+  FM_RETURN_NOT_OK(reader.ReadU64(&dim));
+  std::vector<double> features;
+  FM_RETURN_NOT_OK(reader.ReadDoubleArray(&features,
+                                          static_cast<size_t>(dim)));
+  out->x = linalg::Vector(std::move(features));
+  if (!reader.empty()) {
+    return Status::IoError("WAL record payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t OptionsFingerprint(const ServiceOptions& options) {
+  // FNV-1a over the fields that give the durable state its meaning. Pool
+  // choice and model-history length are deliberately excluded: they affect
+  // performance and retention, not the log's semantics.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix = [&hash](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xFFu;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  const auto mix_double = [&mix](double value) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix(options.dim);
+  mix(static_cast<uint64_t>(options.task));
+  mix(static_cast<uint64_t>(options.post_processing));
+  mix_double(options.total_epsilon);
+  mix(options.seed);
+  mix(options.auto_compact ? 1 : 0);
+  mix_double(options.compaction_dead_ratio);
+  mix(options.compaction_min_dead);
+  return hash;
+}
+
+const char* WalSyncModeToString(WalSyncMode mode) {
+  switch (mode) {
+    case WalSyncMode::kNone:
+      return "none";
+    case WalSyncMode::kBatch:
+      return "batch";
+    case WalSyncMode::kAlways:
+      return "always";
+  }
+  return "?";
+}
+
+std::string Wal::EncodeRecord(uint64_t position, const Request& request) {
+  const std::string payload = EncodeRequestPayload(request);
+  std::string crc_input;
+  crc_input.reserve(8 + payload.size());
+  io::AppendU64(&crc_input, position);
+  crc_input.append(payload);
+
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  io::AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  io::AppendU32(&out, io::Crc32(crc_input));
+  io::AppendU64(&out, position);
+  out.append(payload);
+  return out;
+}
+
+Result<WalReplay> Wal::ReadAll(const std::string& path, uint64_t fingerprint) {
+  FM_ASSIGN_OR_RETURN(const std::string file, io::ReadFileToString(path));
+  FM_RETURN_NOT_OK(CheckHeader(file, fingerprint));
+
+  WalReplay replay;
+  replay.valid_bytes = kHeaderBytes;
+  size_t offset = kHeaderBytes;
+  while (offset < file.size()) {
+    // A record that does not fully parse — short header, short payload, or
+    // CRC mismatch — is a torn tail: the scan stops and the prefix stands.
+    if (file.size() - offset < kRecordHeaderBytes) break;
+    io::ByteReader header(file.data() + offset, kRecordHeaderBytes);
+    uint32_t payload_len = 0;
+    uint32_t crc = 0;
+    uint64_t position = 0;
+    (void)header.ReadU32(&payload_len);
+    (void)header.ReadU32(&crc);
+    (void)header.ReadU64(&position);
+    const size_t body_offset = offset + kRecordHeaderBytes;
+    if (file.size() - body_offset < payload_len) break;
+    std::string crc_input;
+    crc_input.reserve(8 + payload_len);
+    io::AppendU64(&crc_input, position);
+    crc_input.append(file, body_offset, payload_len);
+    if (io::Crc32(crc_input) != crc) break;
+
+    WalRecord record;
+    record.position = position;
+    const std::string payload = file.substr(body_offset, payload_len);
+    const Status decoded = DecodeRequestPayload(payload, &record.request);
+    if (!decoded.ok()) break;
+    replay.records.push_back(std::move(record));
+    offset = body_offset + payload_len;
+    replay.valid_bytes = offset;
+  }
+  replay.torn_tail = replay.valid_bytes < file.size();
+  return replay;
+}
+
+Wal::Wal(const WalOptions& options, int fd, uint64_t file_bytes)
+    : options_(options),
+      fd_(fd),
+      file_bytes_(file_bytes),
+      last_sync_seconds_(MonotonicSeconds()) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
+                                       uint64_t fingerprint) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("WAL path must be non-empty");
+  }
+  uint64_t valid_bytes = 0;
+  const Result<std::string> existing = io::ReadFileToString(options.path);
+  if (existing.ok()) {
+    FM_ASSIGN_OR_RETURN(const WalReplay replay,
+                        ReadAll(options.path, fingerprint));
+    if (replay.torn_tail) {
+      // Drop the torn suffix so appends continue on a record boundary.
+      FM_RETURN_NOT_OK(io::TruncateFile(options.path, replay.valid_bytes));
+    }
+    valid_bytes = replay.valid_bytes;
+  } else if (existing.status().code() == StatusCode::kNotFound) {
+    const std::string parent =
+        std::filesystem::path(options.path).parent_path().string();
+    if (!parent.empty()) {
+      FM_RETURN_NOT_OK(io::CreateDirectories(parent));
+    }
+    FM_RETURN_NOT_OK(io::WriteFileAtomic(options.path,
+                                         EncodeHeader(fingerprint),
+                                         /*sync=*/options.sync !=
+                                             WalSyncMode::kNone));
+    valid_bytes = kHeaderBytes;
+  } else {
+    return existing.status();
+  }
+
+  const int fd = ::open(options.path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL " + options.path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<Wal>(new Wal(options, fd, valid_bytes));
+}
+
+void Wal::Append(uint64_t position, const Request& request) {
+  pending_.append(EncodeRecord(position, request));
+  ++pending_records_;
+}
+
+Status Wal::Commit() {
+  if (pending_.empty()) return Status::OK();
+  size_t written = 0;
+  while (written < pending_.size()) {
+    const ssize_t n =
+        ::write(fd_, pending_.data() + written, pending_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The batch is dropped, not retried: the service fails the requests
+      // it covers, so replaying these records later would be wrong. Roll
+      // the file back to the last good boundary so a partially-written
+      // record cannot sit in the middle of the log.
+      pending_.clear();
+      pending_records_ = 0;
+      (void)::ftruncate(fd_, static_cast<off_t>(file_bytes_));
+      return Status::IoError("WAL write failed for " + options_.path + ": " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  file_bytes_ += pending_.size();
+  appended_records_ += pending_records_;
+  records_since_sync_ += pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  ++commit_batches_;
+
+  switch (options_.sync) {
+    case WalSyncMode::kNone:
+      return Status::OK();
+    case WalSyncMode::kAlways:
+      return Sync();
+    case WalSyncMode::kBatch: {
+      const double now = MonotonicSeconds();
+      if (records_since_sync_ >= options_.batch_max_records ||
+          now - last_sync_seconds_ >= options_.batch_window_seconds) {
+        return Sync();
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  FM_RETURN_NOT_OK(io::SyncFd(fd_));
+  ++sync_count_;
+  records_since_sync_ = 0;
+  last_sync_seconds_ = MonotonicSeconds();
+  return Status::OK();
+}
+
+}  // namespace fm::serve

@@ -1,0 +1,154 @@
+#ifndef FM_SERVE_WAL_H_
+#define FM_SERVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace fm::serve {
+
+/// Durability policy for WAL commits.
+enum class WalSyncMode {
+  /// Never fsync. Records still reach the OS through write(2) on every
+  /// commit, so a process crash loses nothing; power loss can lose the
+  /// unsynced tail. The mode tests and CI use — recovery must cope with an
+  /// arbitrary lost suffix either way (torn-tail truncation).
+  kNone,
+  /// Group commit: fsync when the batch window elapses or the record
+  /// budget fills, whichever first. Bounds lost work by the window while
+  /// amortizing fsync cost over the batch.
+  kBatch,
+  /// fsync on every commit. Maximum durability, one fsync per ExecuteLog.
+  kAlways,
+};
+
+const char* WalSyncModeToString(WalSyncMode mode);
+
+struct WalOptions {
+  std::string path;
+  WalSyncMode sync = WalSyncMode::kBatch;
+  /// kBatch: maximum seconds between fsyncs while commits are flowing.
+  double batch_window_seconds = 0.002;
+  /// kBatch: fsync after at most this many records, regardless of window.
+  size_t batch_max_records = 256;
+};
+
+/// Everything Service::EnableDurability / Service::Recover need: where the
+/// WAL lives, where checkpoints go, and how often they are taken.
+struct DurabilityOptions {
+  WalOptions wal;
+  /// Checkpoint directory; empty → WAL-only durability (recovery then
+  /// replays the whole log, so a service with Bootstrap data — which never
+  /// flows through the log — requires a snapshot dir).
+  std::string snapshot_dir;
+  /// Auto-checkpoint every this many log positions (0 = only explicit
+  /// Checkpoint() calls). Deterministic: a pure function of the log
+  /// prefix, so it cannot perturb the byte-determinism contract.
+  uint64_t snapshot_every = 0;
+  /// Snapshot files retained after each checkpoint (older pruned).
+  size_t snapshot_keep = 4;
+};
+
+/// Fingerprint of the ServiceOptions fields that define the durable
+/// state's meaning (dim, task, post-processing, ε total, seed, compaction
+/// policy). Stamped into WAL and snapshot headers so recovery refuses
+/// state written under different options instead of silently diverging.
+uint64_t OptionsFingerprint(const ServiceOptions& options);
+
+/// One recovered log entry: the request and the absolute log position it was
+/// appended at.
+struct WalRecord {
+  uint64_t position = 0;
+  Request request;
+};
+
+/// Result of scanning a WAL file.
+struct WalReplay {
+  std::vector<WalRecord> records;  ///< The valid prefix, in file order.
+  uint64_t valid_bytes = 0;        ///< File offset where the prefix ends.
+  bool torn_tail = false;  ///< Bytes past valid_bytes failed length/CRC.
+};
+
+/// Append-only binary write-ahead log of serve::Request records.
+///
+/// File layout: a 24-byte header (8-byte magic "FMWAL001", format version,
+/// an options fingerprint binding the log to the ServiceOptions that wrote
+/// it) followed by records
+///
+///   [u32 payload_len][u32 crc][u64 position][payload]
+///
+/// where `crc` is the CRC-32 of the position bytes plus payload, `position`
+/// is the request's absolute log position, and `payload` is the encoded
+/// Request. Appends buffer in memory; Commit() write(2)s the buffered batch
+/// and fsyncs per WalSyncMode — one ExecuteLog call is one commit batch, so
+/// group commit falls out of the engine's existing batching. A crash can
+/// only lose a suffix of records (plus at most one torn record at the cut);
+/// Open() and ReadAll() stop at the first record whose length or CRC does
+/// not check out, and Open() truncates the file back to that valid prefix.
+///
+/// Not thread-safe; serve::Service serializes access under its execution
+/// mutex.
+class Wal {
+ public:
+  /// Opens `options.path` for appending, creating it (with a fresh header)
+  /// when absent. An existing file must carry a matching fingerprint; its
+  /// torn tail, if any, is truncated so the file ends on a record boundary.
+  static Result<std::unique_ptr<Wal>> Open(const WalOptions& options,
+                                           uint64_t fingerprint);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Scans the file and returns every record of the valid prefix. Tolerant:
+  /// a torn/corrupt tail sets `torn_tail` instead of failing, because a
+  /// crashed writer legitimately leaves one. Fails only when the file is
+  /// missing, the header is unreadable, or the fingerprint mismatches.
+  static Result<WalReplay> ReadAll(const std::string& path,
+                                   uint64_t fingerprint);
+
+  /// Buffers one record for the next Commit.
+  void Append(uint64_t position, const Request& request);
+
+  /// Writes all buffered records and applies the sync policy. Empty buffer
+  /// is a no-op. On failure the batch is dropped and the file rolled back
+  /// to the last record boundary — the caller fails the requests the batch
+  /// covered, so they must not resurface on replay.
+  Status Commit();
+
+  /// Forces an fsync regardless of mode (used before checkpoints).
+  Status Sync();
+
+  const WalOptions& options() const { return options_; }
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t commit_batches() const { return commit_batches_; }
+  uint64_t sync_count() const { return sync_count_; }
+  /// Durable file size after the last successful Commit.
+  uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Encoded bytes of one record (testing/bench; Append uses it).
+  static std::string EncodeRecord(uint64_t position, const Request& request);
+
+ private:
+  Wal(const WalOptions& options, int fd, uint64_t file_bytes);
+
+  WalOptions options_;
+  int fd_;
+  uint64_t file_bytes_;
+  std::string pending_;          // encoded, not yet written
+  size_t pending_records_ = 0;
+  uint64_t appended_records_ = 0;
+  uint64_t commit_batches_ = 0;
+  uint64_t sync_count_ = 0;
+  size_t records_since_sync_ = 0;
+  double last_sync_seconds_ = 0.0;  // monotonic clock, seconds
+};
+
+}  // namespace fm::serve
+
+#endif  // FM_SERVE_WAL_H_

@@ -20,6 +20,7 @@
 //    slot space O(live) under randomized insert/delete/update churn.
 //  - Every baseline trainer rejects invalid ε uniformly (the
 //    dp::ValidateEpsilon audit).
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -37,6 +38,7 @@
 #include "common/rng.h"
 #include "common/ulp.h"
 #include "core/objective_accumulator.h"
+#include "eval/metrics.h"
 #include "exec/thread_pool.h"
 #include "opt/logistic_loss.h"
 #include "serve/budget_accountant.h"
@@ -452,6 +454,41 @@ TEST(BudgetAccountant, ReserveCommitAbortLedger) {
   EXPECT_EQ(accountant->charges().size(), 2u);
 }
 
+TEST(BudgetAccountant, SettleSettlesExactlyOnce) {
+  auto accountant = serve::BudgetAccountant::Create(1.0).ValueOrDie();
+
+  // Success: commits the actual spend and releases the rest, atomically.
+  const uint64_t r1 = accountant->Reserve(0.5, "train#1").ValueOrDie();
+  ASSERT_TRUE(accountant->Settle(r1, 0.25).ok());
+  EXPECT_EQ(accountant->spent_epsilon(), 0.25);
+  EXPECT_EQ(accountant->reserved_epsilon(), 0.0);
+  EXPECT_EQ(accountant->pending_reservations(), 0u);
+
+  // The over-reserved-commit regression: a failed commit must settle the
+  // reservation exactly once — released, nothing spent, and the status
+  // carries the root cause instead of a second misleading error from
+  // aborting an already-settled reservation.
+  const uint64_t r2 = accountant->Reserve(0.25, "train#2").ValueOrDie();
+  const Status over = accountant->Settle(r2, 0.75);
+  ASSERT_EQ(over.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(over.message().find("released"), std::string::npos)
+      << over.message();
+  EXPECT_EQ(accountant->pending_reservations(), 0u);
+  EXPECT_EQ(accountant->reserved_epsilon(), 0.0);
+  EXPECT_EQ(accountant->spent_epsilon(), 0.25);
+  // The id is gone, not pending: settling or aborting it again is NotFound.
+  EXPECT_EQ(accountant->Settle(r2, 0.1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(accountant->Abort(r2).code(), StatusCode::kNotFound);
+
+  // An invalid actual ε settles (releases) in the same single step.
+  const uint64_t r3 = accountant->Reserve(0.5, "train#3").ValueOrDie();
+  EXPECT_EQ(accountant->Settle(r3, -1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant->pending_reservations(), 0u);
+  EXPECT_EQ(accountant->remaining_epsilon(), 0.75);
+  EXPECT_EQ(accountant->charges().size(), 1u);
+}
+
 TEST(BudgetAccountant, ConcurrentReserveCommitAbortBalancesExactly) {
   // 1/1024 is exactly representable, so every ledger transition is exact
   // arithmetic and the final balance must be EQ, not NEAR.
@@ -848,8 +885,13 @@ TEST(Service, ChurnSoakStaysBoundedAndThreadCountInvariant) {
       const size_t pick = static_cast<size_t>(rng.UniformInt(live.size()));
       log.push_back(serve::Request::Update(live[pick], random_x(),
                                            rng.Uniform(-1.0, 1.0)));
-    } else if (p < 0.97) {
+    } else if (p < 0.94) {
       log.push_back(serve::Request::Predict(random_x()));
+    } else if (p < 0.97) {
+      // Evaluates ride the churn so the streaming scorer sees stores with
+      // holes at every dead-ratio the policy permits (a model always
+      // exists: the log opens with a Truncated train).
+      log.push_back(serve::Request::Evaluate());
     } else if (private_trains < 4) {
       // A few ε-charged FM trains so released coefficients cross
       // compaction points too (4 · 0.5 fits the 4.0 budget).
@@ -931,11 +973,104 @@ TEST(Service, ChurnSoakStaysBoundedAndThreadCountInvariant) {
             (objective.live_size() + core::kObjectiveShardRows - 1) /
                 core::kObjectiveShardRows);
 
+  // Evaluate never materializes the store: the soak's evaluates all went
+  // through the live-slot streaming view (the test's own Materialize call
+  // below is the first one ever).
+  EXPECT_EQ(objective.materialize_count(), 0u);
+  EXPECT_EQ(service8->objective().materialize_count(), 0u);
+  EXPECT_EQ(replay->objective().materialize_count(), 0u);
+
   // (b): bitwise equal to a fresh store fed the live tuples in order.
   const auto fresh = StoreFromDataset(objective.Materialize(),
                                       core::ObjectiveKind::kLinear);
   EXPECT_TRUE(objective.StoreStateBitwiseEquals(fresh));
   ExpectBitwiseEqual(objective.Objective(), fresh.Objective());
+}
+
+TEST(Service, EvaluateStreamsTheStoreWithoutMaterializing) {
+  // Evaluate used to materialize the entire live store — an O(n·d)
+  // allocation per request. It now scores through the live-slot iteration
+  // view, which must be bit-identical to the materialized path (same
+  // packing order, same accumulation) without ever copying the store.
+  serve::ServiceOptions options;
+  options.dim = 3;
+  auto service = serve::Service::Create(options).ValueOrDie();
+
+  Rng rng(0xE7A1);
+  std::vector<serve::Request> log;
+  for (size_t i = 0; i < 40; ++i) {
+    linalg::Vector x(3);
+    for (size_t j = 0; j < 3; ++j) x[j] = rng.Uniform(-0.5, 0.5);
+    log.push_back(serve::Request::Insert(x, rng.Uniform(-1.0, 1.0)));
+  }
+  // Punch holes so the slot view has dead slots to skip.
+  for (uint64_t id = 0; id < 40; id += 5) {
+    log.push_back(serve::Request::Delete(id));
+  }
+  log.push_back(serve::Request::Train(serve::TrainerKind::kTruncated, 0.0));
+  log.push_back(serve::Request::Evaluate());
+
+  const auto responses = service->ExecuteLog(log);
+  const auto& evaluate = responses.back();
+  ASSERT_TRUE(evaluate.status.ok()) << evaluate.status.ToString();
+  EXPECT_EQ(service->objective().materialize_count(), 0u);
+
+  const auto model = service->registry().Latest();
+  ASSERT_NE(model, nullptr);
+  const auto materialized = service->objective().Materialize();
+  EXPECT_EQ(UlpDistance(evaluate.value,
+                        eval::TaskError(options.task, model->omega,
+                                        materialized)),
+            0u);
+  EXPECT_EQ(service->objective().materialize_count(), 1u);
+}
+
+TEST(Service, RacingDrainsSerializeAndCountersStayReadable) {
+  // Racing Drain calls serialize on the execution mutex (each drained batch
+  // executes atomically in ticket order) while log_position() /
+  // compaction_count() stay safely readable mid-flight — the counters are
+  // atomics, so a concurrent reader sees monotone positions, never torn
+  // values. Run under TSan in CI.
+  constexpr size_t kInserts = 600;
+  serve::ServiceOptions options;
+  options.dim = 2;
+  auto service = serve::Service::Create(options).ValueOrDie();
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> drained{0};
+  auto drainer = [&] {
+    while (!done.load()) {
+      drained += service->Drain().size();
+    }
+    drained += service->Drain().size();
+  };
+  std::thread drain1(drainer);
+  std::thread drain2(drainer);
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!done.load()) {
+      const uint64_t position = service->log_position();
+      EXPECT_GE(position, last);
+      last = position;
+      (void)service->compaction_count();
+    }
+  });
+
+  Rng rng(0xD12A);
+  for (size_t i = 0; i < kInserts; ++i) {
+    linalg::Vector x(2);
+    x[0] = rng.Uniform(-0.5, 0.5);
+    x[1] = rng.Uniform(-0.5, 0.5);
+    service->Enqueue(serve::Request::Insert(std::move(x), 0.25));
+  }
+  done.store(true);
+  drain1.join();
+  drain2.join();
+  reader.join();
+
+  EXPECT_EQ(drained.load(), kInserts);
+  EXPECT_EQ(service->log_position(), kInserts);
+  EXPECT_EQ(service->objective().live_size(), kInserts);
 }
 
 // --------------------------------------------------------------------------

@@ -134,7 +134,7 @@ def run_serve_mode(args):
         cmd += ["--repeats", str(repeats)]
     if args.smoke:
         cmd += ["--ingest", "5000", "--predicts", "5000", "--mixed", "5000",
-                "--churn-live", "2000"]
+                "--churn-live", "2000", "--durable", "3000"]
     proc = subprocess.run(cmd)
     if proc.returncode != 0:
         raise SystemExit("bench_serve failed")
@@ -142,6 +142,23 @@ def run_serve_mode(args):
     with open(out) as f:
         report = json.load(f)
     print(f"\nwrote {out}")
+
+    # Durability phase (informational, no perf gate): WAL group-commit
+    # throughput spread and the in-process recovery check bench_serve
+    # already enforced (it exits non-zero when the recovered service is not
+    # bitwise-equal to the uninterrupted one).
+    if "durable_ingest_rps_sync_batch" in report:
+        print("durable ingest: "
+              f"{report['durable_ingest_rps_sync_none']:.0f}/s (no fsync), "
+              f"{report['durable_ingest_rps_sync_batch']:.0f}/s "
+              f"(group commit, {report['durable_syncs_sync_batch']} fsyncs "
+              f"over {report['durable_commit_batches']} commits), "
+              f"{report['durable_ingest_rps_sync_always']:.0f}/s "
+              "(fsync-always); "
+              f"mean commit batch "
+              f"{report['durable_commit_ms_sync_batch'] * 1000:.0f} us; "
+              f"recovery {report['recovery_seconds'] * 1000:.2f} ms "
+              f"(bitwise-verified: {report['recovered_bitwise_equal']})")
 
     if args.gate:
         n = report["n"]
