@@ -148,7 +148,10 @@ Status ByteReader::ReadLengthPrefixed(std::string* out) {
 }
 
 Status ByteReader::ReadDoubleArray(std::vector<double>* out, size_t count) {
-  if (remaining() < count * sizeof(double)) {
+  // Divide instead of multiplying: `count` may come straight off disk, and
+  // count * sizeof(double) can wrap for a hostile value, passing the bounds
+  // check and then dying in resize().
+  if (count > remaining() / sizeof(double)) {
     return Status::IoError("buffer underrun reading " + std::to_string(count) +
                            " doubles");
   }

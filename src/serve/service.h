@@ -232,6 +232,14 @@ class Service {
   const ModelRegistry& registry() const { return registry_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// Test-only: plants a deliberate determinism bug (the train RNG stream
+  /// picks up the pool size, so responses depend on FM_THREADS). Exists so
+  /// the differential fuzz harness (serve/replay.h, fuzz_determinism
+  /// --self_check) can prove it detects and minimizes real divergence —
+  /// never enable outside tests. Process-global; remember to restore.
+  static void SetTestOnlyNondeterminism(bool enabled);
+  static bool TestOnlyNondeterminism();
+
  private:
   explicit Service(const ServiceOptions& options,
                    std::unique_ptr<BudgetAccountant> accountant);

@@ -165,40 +165,51 @@ std::string Wal::EncodeRecord(uint64_t position, const Request& request) {
   return out;
 }
 
+Status Wal::DecodeRecord(io::ByteReader& reader, WalRecord* out) {
+  uint32_t payload_len = 0;
+  uint32_t crc = 0;
+  uint64_t position = 0;
+  FM_RETURN_NOT_OK(reader.ReadU32(&payload_len));
+  FM_RETURN_NOT_OK(reader.ReadU32(&crc));
+  FM_RETURN_NOT_OK(reader.ReadU64(&position));
+  if (reader.remaining() < payload_len) {
+    return Status::IoError("WAL record payload truncated: claims " +
+                           std::to_string(payload_len) + " bytes, only " +
+                           std::to_string(reader.remaining()) + " remain");
+  }
+  std::string payload(payload_len, '\0');
+  FM_RETURN_NOT_OK(reader.ReadBytes(payload.data(), payload_len));
+  std::string crc_input;
+  crc_input.reserve(8 + payload.size());
+  io::AppendU64(&crc_input, position);
+  crc_input.append(payload);
+  if (io::Crc32(crc_input) != crc) {
+    return Status::IoError("WAL record CRC mismatch at position " +
+                           std::to_string(position));
+  }
+  out->position = position;
+  return DecodeRequestPayload(payload, &out->request);
+}
+
 Result<WalReplay> Wal::ReadAll(const std::string& path, uint64_t fingerprint) {
   FM_ASSIGN_OR_RETURN(const std::string file, io::ReadFileToString(path));
   FM_RETURN_NOT_OK(CheckHeader(file, fingerprint));
 
   WalReplay replay;
   replay.valid_bytes = kHeaderBytes;
-  size_t offset = kHeaderBytes;
-  while (offset < file.size()) {
-    // A record that does not fully parse — short header, short payload, or
-    // CRC mismatch — is a torn tail: the scan stops and the prefix stands.
-    if (file.size() - offset < kRecordHeaderBytes) break;
-    io::ByteReader header(file.data() + offset, kRecordHeaderBytes);
-    uint32_t payload_len = 0;
-    uint32_t crc = 0;
-    uint64_t position = 0;
-    (void)header.ReadU32(&payload_len);
-    (void)header.ReadU32(&crc);
-    (void)header.ReadU64(&position);
-    const size_t body_offset = offset + kRecordHeaderBytes;
-    if (file.size() - body_offset < payload_len) break;
-    std::string crc_input;
-    crc_input.reserve(8 + payload_len);
-    io::AppendU64(&crc_input, position);
-    crc_input.append(file, body_offset, payload_len);
-    if (io::Crc32(crc_input) != crc) break;
-
+  io::ByteReader reader(file.data() + kHeaderBytes,
+                        file.size() - kHeaderBytes);
+  while (!reader.empty()) {
+    // A record that does not fully parse — short header, short payload, CRC
+    // mismatch, or malformed payload — is a torn tail: the scan stops and
+    // the prefix stands. DecodeRecord consumes from a copy so a failed
+    // attempt does not disturb the committed read position.
+    io::ByteReader attempt = reader;
     WalRecord record;
-    record.position = position;
-    const std::string payload = file.substr(body_offset, payload_len);
-    const Status decoded = DecodeRequestPayload(payload, &record.request);
-    if (!decoded.ok()) break;
+    if (!DecodeRecord(attempt, &record).ok()) break;
+    reader = attempt;
     replay.records.push_back(std::move(record));
-    offset = body_offset + payload_len;
-    replay.valid_bytes = offset;
+    replay.valid_bytes = kHeaderBytes + reader.offset();
   }
   replay.torn_tail = replay.valid_bytes < file.size();
   return replay;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "serve/service.h"
@@ -133,6 +134,14 @@ class Wal {
 
   /// Encoded bytes of one record (testing/bench; Append uses it).
   static std::string EncodeRecord(uint64_t position, const Request& request);
+
+  /// Decodes one EncodeRecord-framed record from `reader`, advancing it past
+  /// the record. Strict: a short header/payload, CRC mismatch, or malformed
+  /// payload fails with kIoError and leaves `reader` unspecified — callers
+  /// that must tolerate a torn tail (ReadAll) copy the reader first. Shared
+  /// by WAL recovery and the fuzz harness's repro-artifact loader
+  /// (serve/replay.h), so both speak the identical record codec.
+  static Status DecodeRecord(io::ByteReader& reader, WalRecord* out);
 
  private:
   Wal(const WalOptions& options, int fd, uint64_t file_bytes);
