@@ -385,6 +385,13 @@ int main(int argc, char** argv) {
     double mean_commit_ms = 0.0;
     uint64_t commit_batches = 0;
     uint64_t syncs = 0;
+    // Fault-path health counters (docs/FAULTS.md). On a healthy volume all
+    // of these stay zero/false — tools/run_bench.py --gate enforces it, so
+    // a regression that starts tripping the retry/degradation machinery
+    // during a clean run is caught as a perf-report failure.
+    uint64_t io_retries = 0;
+    uint64_t degraded_rejections = 0;
+    bool wal_poisoned = false;
     bool ok = false;
   };
   const auto scratch_dir = [&](const char* tag) {
@@ -427,6 +434,10 @@ int main(int argc, char** argv) {
     result.rps = static_cast<double>(durable_log.size()) / seconds;
     result.commit_batches = durable_service->wal()->commit_batches();
     result.syncs = durable_service->wal()->sync_count();
+    const io::RetryStats& retries = durable_service->wal()->retry_stats();
+    result.io_retries = retries.transient_retries + retries.short_writes;
+    result.degraded_rejections = durable_service->degraded_rejections();
+    result.wal_poisoned = durable_service->wal()->poisoned();
     result.mean_commit_ms =
         seconds / static_cast<double>(result.commit_batches) * 1e3;
     result.ok = true;
@@ -436,6 +447,15 @@ int main(int argc, char** argv) {
   const DurableRun durable_batch = run_durable(serve::WalSyncMode::kBatch);
   const DurableRun durable_always = run_durable(serve::WalSyncMode::kAlways);
   if (!durable_none.ok || !durable_batch.ok || !durable_always.ok) return 1;
+  const uint64_t durable_io_retries = durable_none.io_retries +
+                                      durable_batch.io_retries +
+                                      durable_always.io_retries;
+  const uint64_t durable_degraded = durable_none.degraded_rejections +
+                                    durable_batch.degraded_rejections +
+                                    durable_always.degraded_rejections;
+  const bool durable_poisoned = durable_none.wal_poisoned ||
+                                durable_batch.wal_poisoned ||
+                                durable_always.wal_poisoned;
 
   // Recovery: a durable run with a mid-stream checkpoint (snapshot + WAL
   // tail), recovered in-process and byte-compared against an uninterrupted
@@ -523,6 +543,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(durable_always.commit_batches));
   std::printf("%-34s %12.3f ms (snapshot + WAL tail, bitwise-verified)\n",
               "recovery", recovery_seconds * 1e3);
+  std::printf("%-34s %8llu retries / %llu degraded / %s\n",
+              "fault counters (must be clean)",
+              static_cast<unsigned long long>(durable_io_retries),
+              static_cast<unsigned long long>(durable_degraded),
+              durable_poisoned ? "POISONED" : "not poisoned");
 
   if (!flags.out.empty()) {
     std::FILE* f = std::fopen(flags.out.c_str(), "w");
@@ -572,6 +597,9 @@ int main(int argc, char** argv) {
                  "  \"durable_syncs_sync_batch\": %llu,\n"
                  "  \"durable_syncs_sync_always\": %llu,\n"
                  "  \"durable_commit_batches\": %llu,\n"
+                 "  \"durable_transient_io_retries\": %llu,\n"
+                 "  \"durable_degraded_rejections\": %llu,\n"
+                 "  \"durable_wal_poisoned\": %s,\n"
                  "  \"recovery_seconds\": %.9f,\n"
                  "  \"recovered_bitwise_equal\": true\n"
                  "}\n",
@@ -589,7 +617,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(durable_always.syncs),
                  static_cast<unsigned long long>(
                      durable_batch.commit_batches),
-                 recovery_seconds);
+                 static_cast<unsigned long long>(durable_io_retries),
+                 static_cast<unsigned long long>(durable_degraded),
+                 durable_poisoned ? "true" : "false", recovery_seconds);
     std::fclose(f);
     std::printf("\nwrote %s\n", flags.out.c_str());
   }

@@ -9,6 +9,14 @@
 //   fuzz_determinism --replay=path/to/repro.fmfuzz [--minimize]
 //       Re-run a committed repro artifact and print the first diverging
 //       position + knob pair. Exit 1 while the bug reproduces, 0 once fixed.
+//   fuzz_determinism --faults --seeds=50 --requests=150
+//       Disk-fault differential: run each seeded workload against a
+//       FaultInjectingEnv (deterministic fsync failures, ENOSPC windows,
+//       EINTR/short writes, torn renames) and assert that (a) every
+//       response — including degraded-mode and poisoned-WAL rejections —
+//       is byte-identical across FM_THREADS {1,8} x FM_BLOCKED_LINALG, and
+//       (b) after destroy + Recover the state equals the live state bitwise
+//       (no acknowledged response is ever lost). docs/FAULTS.md.
 //   fuzz_determinism --self_check
 //       Plant the test-only nondeterminism bug (Service::
 //       SetTestOnlyNondeterminism) and require the harness to catch it and
@@ -25,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "serve/replay.h"
 #include "serve/service.h"
 
@@ -32,6 +41,7 @@ namespace {
 
 using fm::serve::DifferentialOptions;
 using fm::serve::Divergence;
+using fm::serve::FaultDivergence;
 using fm::serve::GenerateWorkload;
 using fm::serve::MinimizeDivergingLog;
 using fm::serve::MinimizeResult;
@@ -39,6 +49,7 @@ using fm::serve::ReadReproArtifact;
 using fm::serve::ReproArtifact;
 using fm::serve::Request;
 using fm::serve::RunDifferential;
+using fm::serve::RunFaultDifferential;
 using fm::serve::Service;
 using fm::serve::ServiceOptions;
 using fm::serve::WorkloadOptions;
@@ -56,6 +67,7 @@ struct Flags {
   std::string replay;  // artifact path; empty = fuzz mode
   bool minimize = false;
   bool self_check = false;
+  bool faults = false;
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -71,7 +83,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--seeds=N] [--seed_base=B] [--requests=M] [--dim=D]\n"
       "          [--crash_points=K] [--time_budget_s=S] [--out_dir=DIR]\n"
-      "          [--replay=ARTIFACT [--minimize]] [--self_check]\n",
+      "          [--replay=ARTIFACT [--minimize]] [--self_check] [--faults]\n",
       argv0);
   return 2;
 }
@@ -100,6 +112,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->minimize = true;
     } else if (arg == "--self_check") {
       flags->self_check = true;
+    } else if (arg == "--faults") {
+      flags->faults = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -229,6 +243,96 @@ int RunFuzz(const Flags& flags) {
   return divergences == 0 ? 0 : 1;
 }
 
+int RunFaults(const Flags& flags) {
+  std::printf(
+      "fuzz_determinism --faults: %zu seeds x %zu requests, 4 runs per seed "
+      "(threads {1,8} x linalg {blocked,scalar}), recovery proof per run\n",
+      flags.seeds, flags.requests);
+
+  const std::string scratch_dir = flags.out_dir + "/fault-scratch";
+  const auto start = std::chrono::steady_clock::now();
+  size_t executed = 0;
+  size_t failures = 0;
+  // Coverage totals: a fault sweep that injected nothing proves nothing,
+  // so the summary reports what actually fired.
+  uint64_t injected_total = 0;
+  uint64_t degraded_total = 0;
+  size_t poisoned_runs = 0;
+  for (size_t i = 0; i < flags.seeds; ++i) {
+    if (flags.time_budget_s > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= flags.time_budget_s) {
+        std::printf("time budget exhausted after %zu/%zu seeds (%.1fs)\n",
+                    executed, flags.seeds, elapsed);
+        break;
+      }
+    }
+    const uint64_t seed = flags.seed_base + i;
+    const uint64_t fault_seed = fm::Rng::Fork(seed, 0xFA017);
+    const WorkloadOptions workload = SeedWorkload(flags, seed);
+    const ServiceOptions service_options =
+        WorkloadServiceOptions(workload, seed);
+    const std::vector<Request> log = GenerateWorkload(workload, seed);
+    const fm::Result<FaultDivergence> result =
+        RunFaultDifferential(service_options, log, fault_seed, scratch_dir);
+    ++executed;
+    if (!result.ok()) {
+      std::printf("seed %llu: harness error: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  result.status().ToString().c_str());
+      return 2;
+    }
+    const FaultDivergence& divergence = result.ValueOrDie();
+    injected_total += divergence.injected_faults;
+    degraded_total += divergence.degraded_rejections;
+    if (divergence.poisoned) ++poisoned_runs;
+    if (divergence.failed) {
+      ++failures;
+      std::printf("seed %llu (dim=%zu fault_seed=%llu): FAULT FAILURE\n",
+                  static_cast<unsigned long long>(seed), workload.dim,
+                  static_cast<unsigned long long>(fault_seed));
+      std::printf("  %s\n  run: %s\n", divergence.what.c_str(),
+                  divergence.knob_name.c_str());
+      const std::string artifact_path =
+          flags.out_dir + "/fault-repro-" + std::to_string(seed) + ".fmfuzz";
+      const fm::Status written =
+          WriteReproArtifact(artifact_path, service_options, log);
+      if (written.ok()) {
+        std::printf(
+            "  repro artifact: %s (re-run: --faults --seeds=1 "
+            "--seed_base=%llu --requests=%zu)\n",
+            artifact_path.c_str(), static_cast<unsigned long long>(seed),
+            flags.requests);
+      } else {
+        std::printf("  FAILED to write repro artifact %s: %s\n",
+                    artifact_path.c_str(), written.ToString().c_str());
+      }
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "summary: %zu logs x 4 fault runs = %zu replays in %.1fs, "
+      "%llu faults injected, %llu degraded rejections, %zu poisoned run(s), "
+      "%zu failure(s)\n",
+      executed, executed * 4, elapsed,
+      static_cast<unsigned long long>(injected_total),
+      static_cast<unsigned long long>(degraded_total), poisoned_runs,
+      failures);
+  if (executed > 0 && injected_total == 0) {
+    std::printf("FAIL: the sweep injected no faults — the harness is not "
+                "exercising anything\n");
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_dir, ec);
+  return failures == 0 ? 0 : 1;
+}
+
 int RunReplay(const Flags& flags) {
   const fm::Result<ReproArtifact> artifact = ReadReproArtifact(flags.replay);
   if (!artifact.ok()) {
@@ -316,5 +420,6 @@ int main(int argc, char** argv) {
   if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
   if (flags.self_check) return RunSelfCheck(flags);
   if (!flags.replay.empty()) return RunReplay(flags);
+  if (flags.faults) return RunFaults(flags);
   return RunFuzz(flags);
 }

@@ -1,0 +1,279 @@
+#include "common/io_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace fm::io {
+
+Status ErrnoStatus(const std::string& what, const std::string& path,
+                   int error_number) {
+  const std::string message =
+      what + " " + path + ": " + std::strerror(error_number);
+  switch (error_number) {
+    case EINTR:
+      return Status::Unavailable(message);
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::ResourceExhausted(message);
+    case ENOENT:
+      return Status::NotFound(message);
+    default:
+      return Status::IoError(message);
+  }
+}
+
+namespace {
+
+/// POSIX file handle: one syscall per call, no retry — the seam reports
+/// exactly what the kernel said and leaves policy to FullWrite/FullRead.
+class PosixFile final : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(void* out, size_t size) override {
+    const ssize_t n = ::read(fd_, out, size);
+    if (n < 0) return ErrnoStatus("read failed for", path_, errno);
+    return static_cast<size_t>(n);
+  }
+
+  Result<size_t> Write(const void* data, size_t size) override {
+    const ssize_t n = ::write(fd_, data, size);
+    if (n < 0) return ErrnoStatus("write failed for", path_, errno);
+    return static_cast<size_t>(n);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync failed for", path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate failed for", path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoStatus("close failed for", path_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<File>> Open(const std::string& path,
+                                     OpenMode mode) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kRead:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kTruncateWrite:
+        flags = O_WRONLY | O_CREAT | O_TRUNC;
+        break;
+      case OpenMode::kAppend:
+        flags = O_WRONLY | O_CREAT | O_APPEND;
+        break;
+    }
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open failed for", path, errno);
+    return std::unique_ptr<File>(new PosixFile(fd, path));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename failed for", from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDirectory(const std::string& path) override {
+    const int dfd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) return ErrnoStatus("open failed for", path, errno);
+    Status synced = Status::OK();
+    if (::fsync(dfd) != 0) {
+      synced = ErrnoStatus("fsync failed for", path, errno);
+    }
+    ::close(dfd);
+    return synced;
+  }
+
+  Status CreateDirectories(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Status::IoError("create_directories failed for " + path + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(path, ec);
+    if (ec) {
+      return Status::IoError("cannot list " + path + ": " + ec.message());
+    }
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      if (entry.is_regular_file(ec) && !ec) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status RemoveFileIfExists(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IoError("remove failed for " + path + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate failed for", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    const uintmax_t size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::IoError("file_size failed for " + path + ": " +
+                             ec.message());
+    }
+    return static_cast<uint64_t>(size);
+  }
+};
+
+}  // namespace
+
+Env& Env::Default() {
+  static PosixEnv env;
+  return env;
+}
+
+Status FullWrite(File& file, const void* data, size_t size,
+                 RetryStats* stats) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  int stalled = 0;
+  while (written < size) {
+    Result<size_t> n = file.Write(p + written, size - written);
+    if (!n.ok()) {
+      if (!IsTransient(n.status()) || ++stalled > kMaxTransientRetries) {
+        return n.status();
+      }
+      if (stats != nullptr) ++stats->transient_retries;
+      continue;
+    }
+    const size_t transferred = n.ValueOrDie();
+    if (transferred < size - written) {
+      if (stats != nullptr) ++stats->short_writes;
+      if (transferred == 0 && ++stalled > kMaxTransientRetries) {
+        return Status::IoError(
+            "write made no progress after " +
+            std::to_string(kMaxTransientRetries) + " attempts");
+      }
+    }
+    if (transferred > 0) stalled = 0;
+    written += transferred;
+  }
+  return Status::OK();
+}
+
+Status FullRead(File& file, std::string* out, RetryStats* stats) {
+  char buf[1 << 16];
+  int stalled = 0;
+  for (;;) {
+    Result<size_t> n = file.Read(buf, sizeof(buf));
+    if (!n.ok()) {
+      if (!IsTransient(n.status()) || ++stalled > kMaxTransientRetries) {
+        return n.status();
+      }
+      if (stats != nullptr) ++stats->transient_retries;
+      continue;
+    }
+    const size_t transferred = n.ValueOrDie();
+    if (transferred == 0) return Status::OK();  // EOF
+    stalled = 0;
+    out->append(buf, transferred);
+  }
+}
+
+Result<std::string> ReadFileToString(Env& env, const std::string& path) {
+  Result<std::unique_ptr<File>> file = env.Open(path, OpenMode::kRead);
+  if (!file.ok()) return file.status();
+  std::string out;
+  Status read = FullRead(*file.ValueOrDie(), &out);
+  if (!read.ok()) return read;
+  return out;
+}
+
+Status WriteFileAtomic(Env& env, const std::string& path,
+                       const std::string& contents, bool sync,
+                       RetryStats* stats) {
+  const std::string tmp = path + ".tmp";
+  Result<std::unique_ptr<File>> opened = env.Open(tmp, OpenMode::kTruncateWrite);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<File> file = std::move(opened).ValueOrDie();
+
+  Status st = FullWrite(*file, contents.data(), contents.size(), stats);
+  // fsync before rename: publishing a name whose bytes never hit the
+  // platter would let a power cut produce a valid-looking empty/torn file.
+  if (st.ok() && sync) st = file->Sync();
+  if (st.ok()) {
+    st = file->Close();
+  } else {
+    (void)file->Close();
+  }
+  if (st.ok()) st = env.RenameFile(tmp, path);
+  if (!st.ok()) {
+    // Failure-path hygiene: never leak the tmp file (the snapshot pruner
+    // only collects committed names; see PruneSnapshots).
+    (void)env.RemoveFileIfExists(tmp);
+    return st;
+  }
+  if (sync) {
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    FM_RETURN_NOT_OK(
+        env.SyncDirectory(parent.empty() ? "." : parent.string()));
+  }
+  return Status::OK();
+}
+
+}  // namespace fm::io

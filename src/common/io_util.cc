@@ -1,25 +1,13 @@
 #include "common/io_util.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <system_error>
+
+#include "common/io_env.h"
 
 namespace fm::io {
-
-namespace {
-
-std::string ErrnoMessage(const std::string& what, const std::string& path) {
-  return what + " " + path + ": " + std::strerror(errno);
-}
-
-}  // namespace
 
 uint32_t Crc32(const void* data, size_t size) {
   // Table-driven CRC-32 (IEEE 802.3, reflected 0xEDB88320). The table is
@@ -162,22 +150,13 @@ Status ByteReader::ReadDoubleArray(std::vector<double>* out, size_t count) {
   return Status::OK();
 }
 
+// The file-level helpers below are the legacy entry points; they forward to
+// the Env seam (common/io_env.h) against the process-wide POSIX environment.
+// Code that needs fault injection takes an Env (or passes one through
+// WalOptions / the snapshot helpers) instead of calling these.
+
 Result<std::string> ReadFileToString(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
-    return Status::IoError(ErrnoMessage("open failed for", path));
-  }
-  std::string out;
-  char buf[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out.append(buf, n);
-  }
-  const bool failed = std::ferror(f) != 0;
-  std::fclose(f);
-  if (failed) return Status::IoError(ErrnoMessage("read failed for", path));
-  return out;
+  return ReadFileToString(Env::Default(), path);
 }
 
 Status SyncFd(int fd) {
@@ -190,101 +169,27 @@ Status SyncFd(int fd) {
 
 Status WriteFileAtomic(const std::string& path, const std::string& contents,
                        bool sync) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::IoError(ErrnoMessage("open failed for", tmp));
-  size_t written = 0;
-  while (written < contents.size()) {
-    const ssize_t n =
-        ::write(fd, contents.data() + written, contents.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return Status::IoError(ErrnoMessage("write failed for", tmp));
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (sync) {
-    const Status synced = SyncFd(fd);
-    if (!synced.ok()) {
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return synced;
-    }
-  }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    return Status::IoError(ErrnoMessage("close failed for", tmp));
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return Status::IoError(ErrnoMessage("rename failed for", tmp));
-  }
-  if (sync) {
-    // Make the rename itself durable: fsync the containing directory.
-    const std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    const std::string dir = parent.empty() ? "." : parent.string();
-    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (dfd < 0) return Status::IoError(ErrnoMessage("open failed for", dir));
-    const Status synced = SyncFd(dfd);
-    ::close(dfd);
-    FM_RETURN_NOT_OK(synced);
-  }
-  return Status::OK();
+  return WriteFileAtomic(Env::Default(), path, contents, sync);
 }
 
 Status CreateDirectories(const std::string& path) {
-  std::error_code ec;
-  std::filesystem::create_directories(path, ec);
-  if (ec) {
-    return Status::IoError("create_directories failed for " + path + ": " +
-                           ec.message());
-  }
-  return Status::OK();
+  return Env::Default().CreateDirectories(path);
 }
 
 Result<std::vector<std::string>> ListDirectory(const std::string& path) {
-  std::error_code ec;
-  std::filesystem::directory_iterator it(path, ec);
-  if (ec) {
-    return Status::IoError("cannot list " + path + ": " + ec.message());
-  }
-  std::vector<std::string> names;
-  for (const auto& entry : it) {
-    if (entry.is_regular_file(ec) && !ec) {
-      names.push_back(entry.path().filename().string());
-    }
-  }
-  std::sort(names.begin(), names.end());
-  return names;
+  return Env::Default().ListDirectory(path);
 }
 
 Status RemoveFileIfExists(const std::string& path) {
-  std::error_code ec;
-  std::filesystem::remove(path, ec);
-  if (ec) {
-    return Status::IoError("remove failed for " + path + ": " + ec.message());
-  }
-  return Status::OK();
+  return Env::Default().RemoveFileIfExists(path);
 }
 
 Status TruncateFile(const std::string& path, uint64_t size) {
-  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-    return Status::IoError(ErrnoMessage("truncate failed for", path));
-  }
-  return Status::OK();
+  return Env::Default().TruncateFile(path, size);
 }
 
 Result<uint64_t> FileSize(const std::string& path) {
-  std::error_code ec;
-  const uintmax_t size = std::filesystem::file_size(path, ec);
-  if (ec) {
-    return Status::IoError("file_size failed for " + path + ": " +
-                           ec.message());
-  }
-  return static_cast<uint64_t>(size);
+  return Env::Default().FileSize(path);
 }
 
 }  // namespace fm::io

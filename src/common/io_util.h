@@ -74,7 +74,9 @@ class ByteReader {
 };
 
 /// Reads a whole file into `out`. kNotFound when the file does not exist,
-/// kIoError for any other failure.
+/// typed errors otherwise. EINTR-safe (bounded retry, common/io_env.h);
+/// forwards to the Env seam against the default POSIX environment — code
+/// that needs fault injection takes an io::Env explicitly.
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Writes `contents` to `path` atomically: write to `<path>.tmp`, optionally
@@ -83,6 +85,8 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// new one, never a torn mixture — the snapshot files' durability story.
 /// With `sync` false the fsyncs are skipped (fast mode for tests/CI; the
 /// rename is still atomic against process crashes, just not power loss).
+/// On ANY failure (open/write/fsync/close/rename) the tmp file is unlinked
+/// before returning; the fsync result is checked before the rename.
 Status WriteFileAtomic(const std::string& path, const std::string& contents,
                        bool sync);
 

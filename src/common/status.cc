@@ -24,6 +24,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDegradedReadOnly:
+      return "degraded-read-only";
   }
   return "unknown";
 }

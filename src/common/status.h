@@ -21,6 +21,15 @@ enum class StatusCode {
   kIoError = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  /// The underlying storage is out of space (ENOSPC/EDQUOT). Resumable once
+  /// space returns — see Service::TryResume().
+  kResourceExhausted = 10,
+  /// A transient fault (EINTR-class) that a bounded retry may clear.
+  kUnavailable = 11,
+  /// The service is in read-only degraded mode: mutating requests are
+  /// rejected until TryResume() succeeds (or, if the WAL is poisoned, until
+  /// a restart + Recover). See docs/FAULTS.md.
+  kDegradedReadOnly = 12,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -81,6 +90,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DegradedReadOnly(std::string msg) {
+    return Status(StatusCode::kDegradedReadOnly, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -734,4 +734,209 @@ Result<MinimizeResult> MinimizeDivergingLog(
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Fault-schedule differential
+// ---------------------------------------------------------------------------
+
+io::FaultProfile DeriveFaultProfile(uint64_t fault_seed) {
+  io::FaultProfile profile;
+  profile.seed = Rng::Fork(fault_seed, 1);
+  Rng rng(Rng::Fork(fault_seed, 2));
+  // Transient faults are common (they exercise the bounded retry loop),
+  // hard faults are rare but present in roughly half the profiles each, so
+  // a moderate seed sweep covers every combination of degrade/poison paths.
+  profile.write_eintr = rng.Uniform(0.0, 0.25);
+  profile.write_short = rng.Uniform(0.0, 0.15);
+  profile.write_enospc = rng.Bernoulli(0.5) ? rng.Uniform(0.0, 0.05) : 0.0;
+  profile.sync_error = rng.Bernoulli(0.5) ? rng.Uniform(0.0, 0.03) : 0.0;
+  profile.open_error = rng.Bernoulli(0.3) ? rng.Uniform(0.0, 0.02) : 0.0;
+  profile.rename_error = rng.Bernoulli(0.3) ? rng.Uniform(0.0, 0.02) : 0.0;
+  profile.write_error = rng.Bernoulli(0.25) ? rng.Uniform(0.0, 0.01) : 0.0;
+  // read_error and truncate_error stay 0: recovery must be able to re-read
+  // the WAL, and the rejected-batch rollback (truncate to the committed
+  // prefix) must stay reliable or live == recovered is not checkable.
+  profile.enospc_window_ops = 8 + rng.UniformInt(32);
+  return profile;
+}
+
+namespace {
+
+// Schedule stream tag: chunk sizes and control-action rolls come from
+// Rng::Fork(fault_seed, this), independent of the env's per-op streams.
+constexpr uint64_t kFaultScheduleTag = 0xC0117801;
+
+void AppendControl(std::string* control, char tag, const Status& status) {
+  control->push_back(tag);
+  io::AppendU8(control, static_cast<uint8_t>(status.code()));
+  io::AppendLengthPrefixed(control, status.message());
+}
+
+}  // namespace
+
+Result<FaultRunResult> ExecuteFaultReplay(const ServiceOptions& options,
+                                          const std::vector<Request>& log,
+                                          size_t threads, bool blocked_linalg,
+                                          uint64_t fault_seed,
+                                          const std::string& scratch_dir) {
+  if (scratch_dir.empty()) {
+    return Status::InvalidArgument(
+        "fault injection needs a scratch_dir for WAL/snapshot files");
+  }
+
+  BlockedLinalgScope kernel_mode(blocked_linalg);
+  exec::ThreadPool pool(threads);
+  ServiceOptions run_options = options;
+  run_options.pool = &pool;
+
+  io::FaultInjectingEnv env(io::Env::Default(),
+                            DeriveFaultProfile(fault_seed));
+
+  DurabilityOptions durability;
+  durability.wal.path = scratch_dir + "/faults.fmwal";
+  // kAlways: every commit fsyncs, so the fault schedule is batch-aligned
+  // and wall-clock free (kBatch's sync window reads the monotonic clock,
+  // which would make the env's op-ordinal stream nondeterministic).
+  durability.wal.sync = WalSyncMode::kAlways;
+  durability.wal.env = &env;
+  durability.snapshot_dir = scratch_dir + "/snapshots";
+  durability.snapshot_keep = 2;
+
+  FM_RETURN_NOT_OK(io::CreateDirectories(scratch_dir));
+  FM_RETURN_NOT_OK(io::RemoveFileIfExists(durability.wal.path));
+  std::error_code ec;
+  std::filesystem::remove_all(durability.snapshot_dir, ec);
+
+  FM_ASSIGN_OR_RETURN(std::unique_ptr<Service> service,
+                      Service::Create(run_options));
+  // Setup runs fault-free (the env is still disarmed): the schedule should
+  // exercise the serving window, not WAL creation.
+  FM_RETURN_NOT_OK(service->EnableDurability(durability));
+
+  FaultRunResult result;
+  result.responses.resize(log.size());
+
+  Rng schedule(Rng::Fork(fault_seed, kFaultScheduleTag));
+  env.set_armed(true);
+  size_t index = 0;
+  while (index < log.size()) {
+    const size_t chunk =
+        std::min(log.size() - index,
+                 1 + static_cast<size_t>(schedule.UniformInt(7)));
+    const auto begin = log.begin() + static_cast<std::ptrdiff_t>(index);
+    const std::vector<Request> batch(
+        begin, begin + static_cast<std::ptrdiff_t>(chunk));
+    const std::vector<Response> responses = service->ExecuteLog(batch);
+    if (responses.size() != batch.size()) {
+      return Status::Internal("fault replay produced " +
+                              std::to_string(responses.size()) +
+                              " responses for a batch of " +
+                              std::to_string(batch.size()));
+    }
+    for (size_t j = 0; j < responses.size(); ++j) {
+      result.responses[index + j] = EncodeResponse(responses[j]);
+    }
+    index += chunk;
+    // Both rolls are drawn unconditionally so the schedule stream never
+    // depends on the service's mode; the actions are conditional, but the
+    // mode is itself a pure function of (log, fault seed).
+    const double checkpoint_roll = schedule.Uniform();
+    const double resume_roll = schedule.Uniform();
+    if (checkpoint_roll < 0.20) {
+      // Checkpoint failure is contained (the tmp is unlinked, the previous
+      // snapshot stays selectable) — record the outcome, keep going.
+      AppendControl(&result.control, 'C', service->Checkpoint());
+    }
+    if (resume_roll < 0.5 && service->serving_mode() != ServingMode::kNormal) {
+      AppendControl(&result.control, 'R', service->TryResume());
+    }
+  }
+  env.set_armed(false);
+
+  result.live_state = CaptureState(*service);
+  result.injected = env.counts();
+  if (service->wal() != nullptr) {
+    const io::RetryStats& stats = service->wal()->retry_stats();
+    result.transient_retries = stats.transient_retries + stats.short_writes;
+  }
+  result.degraded_rejections = service->degraded_rejections();
+  result.final_mode = static_cast<int>(service->serving_mode());
+
+  // The durability proof: destroy the service, recover from what reached
+  // the disk, and demand bitwise equality with the live state. A rejected
+  // batch never mutates state and a committed batch is fsynced before it
+  // is acknowledged, so live == durable at every batch boundary.
+  service.reset();
+  FM_ASSIGN_OR_RETURN(service, Service::Recover(run_options, durability));
+  result.recovered_state = CaptureState(*service);
+  result.recovered_equal = result.recovered_state == result.live_state;
+  return result;
+}
+
+Result<FaultDivergence> RunFaultDifferential(const ServiceOptions& options,
+                                             const std::vector<Request>& log,
+                                             uint64_t fault_seed,
+                                             const std::string& scratch_dir) {
+  if (scratch_dir.empty()) {
+    return Status::InvalidArgument("fault differential needs a scratch_dir");
+  }
+
+  struct RunConfig {
+    size_t threads;
+    bool blocked;
+  };
+  constexpr RunConfig kConfigs[] = {
+      {1, true}, {1, false}, {8, true}, {8, false}};
+
+  FaultDivergence divergence;
+  FaultRunResult reference;
+  for (size_t i = 0; i < std::size(kConfigs); ++i) {
+    const RunConfig& config = kConfigs[i];
+    const std::string name =
+        "threads=" + std::to_string(config.threads) +
+        ",linalg=" + (config.blocked ? "blocked" : "scalar");
+    // Every run uses the SAME scratch path (runs are sequential; the WAL
+    // and snapshots are recreated each run): error messages embed the WAL
+    // path, so distinct per-run paths would diverge the response bytes.
+    const std::string scratch = scratch_dir + "/run";
+    Result<FaultRunResult> run = ExecuteFaultReplay(
+        options, log, config.threads, config.blocked, fault_seed, scratch);
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+    FM_RETURN_NOT_OK(run.status());
+    FaultRunResult& current = run.ValueOrDie();
+
+    if (i == 0) {
+      divergence.injected_faults = current.injected.total;
+      divergence.degraded_rejections = current.degraded_rejections;
+      divergence.poisoned =
+          current.final_mode == static_cast<int>(ServingMode::kPoisoned);
+    }
+    if (!current.recovered_equal) {
+      divergence.failed = true;
+      divergence.what =
+          "recovery: recovered state bytes differ from the live state";
+      divergence.knob_name = name;
+      return divergence;
+    }
+    if (i == 0) {
+      reference = std::move(current);
+      continue;
+    }
+    if (current.responses != reference.responses) {
+      divergence.what = "responses: byte stream differs from the reference";
+    } else if (current.control != reference.control) {
+      divergence.what =
+          "control: checkpoint/resume outcomes differ from the reference";
+    } else if (current.live_state != reference.live_state) {
+      divergence.what = "state: final state bytes differ from the reference";
+    } else {
+      continue;
+    }
+    divergence.failed = true;
+    divergence.knob_name = name;
+    return divergence;
+  }
+  return divergence;
+}
+
 }  // namespace fm::serve

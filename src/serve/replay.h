@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_env.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "serve/service.h"
@@ -245,6 +246,88 @@ struct MinimizeResult {
 Result<MinimizeResult> MinimizeDivergingLog(
     const ServiceOptions& service_options, const std::vector<Request>& log,
     const DifferentialOptions& options);
+
+// ---------------------------------------------------------------------------
+// Fault-schedule differential (fuzz_determinism --faults; docs/FAULTS.md)
+// ---------------------------------------------------------------------------
+
+/// The contract under fault injection extends the determinism contract:
+/// with a FaultInjectingEnv between the service and the disk, every
+/// response — including kResourceExhausted rejections, kDegradedReadOnly
+/// rejections and poisoned-WAL kIoError rejections — plus the control
+/// outcomes (Checkpoint/TryResume results) must be a pure function of
+/// (log, fault seed), byte-identical across FM_THREADS and
+/// FM_BLOCKED_LINALG. And no acknowledged response may be lost: after the
+/// run the service is destroyed and recovered from disk, and the recovered
+/// state must be bitwise equal to the live state (a rejected batch never
+/// mutates state, so live == durable at every batch boundary).
+
+/// Derives the per-run fault profile from a fault seed. Read faults and
+/// truncate faults stay at zero: recovery must be able to re-read the WAL,
+/// and the WAL's rejected-batch rollback (truncate back to the committed
+/// prefix) must stay reliable for the live == recovered invariant to be
+/// checkable. Production rollback failure is covered separately (it
+/// poisons; see wal_test).
+io::FaultProfile DeriveFaultProfile(uint64_t fault_seed);
+
+/// Everything one fault-injected execution observes.
+struct FaultRunResult {
+  /// Byte-encoded Response per request INDEX. Indexed by position in `log`,
+  /// not by service log position: degraded/rejected requests consume no log
+  /// position, so position-keying would misalign runs.
+  std::vector<std::string> responses;
+  /// Byte log of control actions: for each scheduled Checkpoint ('C') and
+  /// TryResume ('R'), the action tag, resulting status code and message.
+  /// Divergent control outcomes are a determinism break like any other.
+  std::string control;
+  /// EncodeSnapshot bytes of the live service at end of run.
+  std::string live_state;
+  /// EncodeSnapshot bytes after destroy + Service::Recover from disk.
+  std::string recovered_state;
+  bool recovered_equal = false;
+  /// Injected-fault counters (proof of coverage, not just survival).
+  io::FaultCounts injected;
+  uint64_t transient_retries = 0;
+  uint64_t degraded_rejections = 0;
+  /// Final ServingMode as an int (ServingMode enum value).
+  int final_mode = 0;
+};
+
+/// Executes `log` against a service whose WAL and snapshots go through a
+/// FaultInjectingEnv seeded with DeriveFaultProfile(fault_seed). The chunk
+/// schedule and control-action schedule are drawn from the fault seed only
+/// (never the thread count), WAL sync mode is kAlways (so the fault
+/// schedule is batch-aligned and wall-clock free), and the env is disarmed
+/// during setup and recovery. The result records whether the recovered
+/// state matched the live state bitwise (`recovered_equal`); the caller —
+/// RunFaultDifferential — turns a mismatch into a failure.
+Result<FaultRunResult> ExecuteFaultReplay(const ServiceOptions& options,
+                                          const std::vector<Request>& log,
+                                          size_t threads, bool blocked_linalg,
+                                          uint64_t fault_seed,
+                                          const std::string& scratch_dir);
+
+/// Outcome of RunFaultDifferential.
+struct FaultDivergence {
+  bool failed = false;
+  /// What went wrong: "responses", "control", "recovery", ...
+  std::string what;
+  /// The run configuration that failed/diverged, e.g. "threads=8,scalar".
+  std::string knob_name;
+  /// Coverage from the reference run.
+  uint64_t injected_faults = 0;
+  uint64_t degraded_rejections = 0;
+  bool poisoned = false;
+};
+
+/// Runs ExecuteFaultReplay over {threads 1, 8} x {blocked, scalar} with the
+/// same fault seed and byte-compares every run against the reference
+/// (threads=1, blocked). All four runs must agree on responses and control
+/// bytes, and each must individually satisfy recovered == live.
+Result<FaultDivergence> RunFaultDifferential(const ServiceOptions& options,
+                                             const std::vector<Request>& log,
+                                             uint64_t fault_seed,
+                                             const std::string& scratch_dir);
 
 }  // namespace fm::serve
 

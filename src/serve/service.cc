@@ -6,6 +6,7 @@
 
 #include "baselines/fm_algorithm.h"
 #include "baselines/no_privacy.h"
+#include "common/io_env.h"
 #include "common/io_util.h"
 #include "core/fm_linear.h"
 #include "core/fm_logistic.h"
@@ -30,6 +31,18 @@ void Service::SetTestOnlyNondeterminism(bool enabled) {
 
 bool Service::TestOnlyNondeterminism() {
   return g_test_only_nondeterminism.load(std::memory_order_relaxed);
+}
+
+const char* ServingModeToString(ServingMode mode) {
+  switch (mode) {
+    case ServingMode::kNormal:
+      return "normal";
+    case ServingMode::kDegradedReadOnly:
+      return "degraded-read-only";
+    case ServingMode::kPoisoned:
+      return "poisoned";
+  }
+  return "?";
 }
 
 const char* TrainerKindToString(TrainerKind kind) {
@@ -144,15 +157,22 @@ std::vector<Response> Service::ExecuteLogLocked(
   std::vector<Response> out(log.size());
   const uint64_t base = next_position_.load(std::memory_order_relaxed);
   if (append_to_wal && wal_ != nullptr && !log.empty()) {
+    if (serving_mode_.load(std::memory_order_relaxed) !=
+        static_cast<int>(ServingMode::kNormal)) {
+      return ExecuteReadOnlyLocked(log);
+    }
     // WAL-before-state: the whole batch becomes durable (one group commit)
     // before anything executes. If it cannot, nothing executes — no log
     // position is consumed and no state changes — and every request
-    // reports the root-cause IO error.
+    // reports the root-cause IO error. The service then degrades: later
+    // batches get read-only service (docs/FAULTS.md) instead of hammering
+    // a failing volume.
     for (size_t i = 0; i < log.size(); ++i) {
       wal_->Append(base + i, log[i]);
     }
     const Status committed = wal_->Commit();
     if (!committed.ok()) {
+      EnterFaultModeLocked(committed);
       for (Response& r : out) r.status = committed;
       return out;
     }
@@ -220,6 +240,89 @@ std::vector<Response> Service::Drain() {
     queue_base_ += batch.size();
   }
   return ExecuteLogLocked(batch, /*append_to_wal=*/true);
+}
+
+void Service::EnterFaultModeLocked(const Status& cause) {
+  degrade_reason_ = cause.ToString();
+  const ServingMode mode = (wal_ != nullptr && wal_->poisoned())
+                               ? ServingMode::kPoisoned
+                               : ServingMode::kDegradedReadOnly;
+  serving_mode_.store(static_cast<int>(mode), std::memory_order_release);
+}
+
+Response Service::DegradedRejectionLocked() {
+  degraded_rejections_.fetch_add(1, std::memory_order_relaxed);
+  const bool poisoned = serving_mode_.load(std::memory_order_relaxed) ==
+                        static_cast<int>(ServingMode::kPoisoned);
+  Response r;
+  // The message is a pure function of the fault that caused degradation, so
+  // degraded responses stay byte-identical across threads/kernels/replicas
+  // (the fuzz --faults invariant).
+  r.status = Status::DegradedReadOnly(
+      std::string("service is read-only (") +
+      (poisoned ? "poisoned WAL; restart and Recover to resume"
+                : "degraded; retry after TryResume()") +
+      "): " + degrade_reason_);
+  return r;
+}
+
+std::vector<Response> Service::ExecuteReadOnlyLocked(
+    const std::vector<Request>& log) {
+  // Read-only service on the last durable state. Nothing here consumes a
+  // log position or touches the WAL: positions must keep meaning "durably
+  // logged request" or a recovered replica's Rng::Fork(seed, position)
+  // train streams would diverge from this service's after a resume.
+  std::vector<Response> out(log.size());
+  size_t i = 0;
+  while (i < log.size()) {
+    if (log[i].kind == RequestKind::kPredict) {
+      size_t j = i;
+      while (j < log.size() && log[j].kind == RequestKind::kPredict) ++j;
+      RunPredictBatch(log, i, j, out);
+      i = j;
+      continue;
+    }
+    if (log[i].kind == RequestKind::kEvaluate) {
+      out[i] = DoEvaluate();
+    } else {
+      out[i] = DegradedRejectionLocked();
+    }
+    ++i;
+  }
+  return out;
+}
+
+Status Service::TryResume() {
+  std::lock_guard<std::mutex> lock(execute_mutex_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "TryResume needs durability enabled — a non-durable service never "
+        "degrades");
+  }
+  switch (serving_mode()) {
+    case ServingMode::kNormal:
+      return Status::OK();
+    case ServingMode::kPoisoned:
+      return Status::FailedPrecondition(
+          "the WAL is poisoned (failed fsync/write); restart the service "
+          "and use Service::Recover — it re-reads what is actually durable");
+    case ServingMode::kDegradedReadOnly:
+      break;
+  }
+  const Status probed = wal_->ProbeWritable();
+  if (!probed.ok()) {
+    if (wal_->poisoned()) {
+      // The probe's rollback failed: the WAL can no longer vouch for its
+      // append point. Escalate so callers stop retrying TryResume.
+      serving_mode_.store(static_cast<int>(ServingMode::kPoisoned),
+                          std::memory_order_release);
+    }
+    return probed;
+  }
+  serving_mode_.store(static_cast<int>(ServingMode::kNormal),
+                      std::memory_order_release);
+  degrade_reason_.clear();
+  return Status::OK();
 }
 
 Response Service::DoInsert(const Request& request) {
@@ -483,7 +586,9 @@ Status Service::EnableDurability(const DurabilityOptions& durability) {
   if (durability.wal.path.empty()) {
     return Status::InvalidArgument("DurabilityOptions.wal.path is empty");
   }
-  if (io::FileSize(durability.wal.path).ok()) {
+  io::Env& env = durability.wal.env != nullptr ? *durability.wal.env
+                                               : io::Env::Default();
+  if (env.FileSize(durability.wal.path).ok()) {
     return Status::AlreadyExists(
         "WAL " + durability.wal.path +
         " already exists — use Service::Recover to reattach durable state");
@@ -524,7 +629,8 @@ Result<std::unique_ptr<Service>> Service::Recover(
   uint64_t snapshot_position = 0;
   if (!durability.snapshot_dir.empty()) {
     Result<SnapshotContents> snapshot = LoadLatestSnapshot(
-        durability.snapshot_dir, service->options_fingerprint_);
+        durability.snapshot_dir, service->options_fingerprint_,
+        durability.wal.env);
     if (snapshot.ok()) {
       const SnapshotContents& contents = snapshot.ValueOrDie();
       FM_RETURN_NOT_OK(DecodeSnapshotComponents(
@@ -544,7 +650,8 @@ Result<std::unique_ptr<Service>> Service::Recover(
   //    through the ordinary execution path. Recovery = replay: state after
   //    this loop is a pure function of (snapshot, tail), bitwise.
   const Result<WalReplay> replay =
-      Wal::ReadAll(durability.wal.path, service->options_fingerprint_);
+      Wal::ReadAll(durability.wal.path, service->options_fingerprint_,
+                   durability.wal.env);
   if (replay.ok()) {
     std::vector<Request> tail;
     for (const WalRecord& record : replay.ValueOrDie().records) {
@@ -591,9 +698,11 @@ Status Service::CheckpointLocked() {
       compaction_count_.load(std::memory_order_relaxed));
   FM_RETURN_NOT_OK(WriteSnapshotFile(
       durability_->snapshot_dir, position, options_fingerprint_, payload,
-      /*sync=*/durability_->wal.sync != WalSyncMode::kNone));
-  FM_RETURN_NOT_OK(
-      PruneSnapshots(durability_->snapshot_dir, durability_->snapshot_keep));
+      /*sync=*/durability_->wal.sync != WalSyncMode::kNone,
+      durability_->wal.env));
+  FM_RETURN_NOT_OK(PruneSnapshots(durability_->snapshot_dir,
+                                  durability_->snapshot_keep,
+                                  durability_->wal.env));
   last_checkpoint_position_ = position;
   return Status::OK();
 }

@@ -73,6 +73,23 @@ struct Request {
   static Request Compact();
 };
 
+/// Degradation state of a durable service (docs/FAULTS.md). A non-durable
+/// service is always kNormal — with no WAL there is nothing to fail.
+enum class ServingMode {
+  kNormal = 0,
+  /// A resumable storage fault (ENOSPC on a WAL commit with a clean
+  /// rollback): mutating requests are rejected with kDegradedReadOnly,
+  /// predicts/evaluates keep serving the last durable state, and
+  /// TryResume() re-probes the volume to exit degradation.
+  kDegradedReadOnly = 1,
+  /// A failed fsync (or unrecoverable write/rollback failure) poisoned the
+  /// WAL: same read-only behavior, but only a restart + Service::Recover —
+  /// which re-reads what is actually durable — exits this state.
+  kPoisoned = 2,
+};
+
+const char* ServingModeToString(ServingMode mode);
+
 /// Outcome of one request. `status` is per-request — a failed request never
 /// fails the log; it reports here and leaves all state (tuples, budget,
 /// models) untouched.
@@ -189,6 +206,26 @@ class Service {
   /// The attached WAL, or nullptr when durability is off (stats/tests).
   const Wal* wal() const { return wal_.get(); }
 
+  /// Current degradation state (docs/FAULTS.md). Safe to read concurrently.
+  ServingMode serving_mode() const {
+    return static_cast<ServingMode>(
+        serving_mode_.load(std::memory_order_acquire));
+  }
+
+  /// Attempts to exit read-only degradation: re-probes the WAL volume
+  /// (write + truncate-back) and, when the probe succeeds, re-admits
+  /// mutating requests. kFailedPrecondition when durability is off or the
+  /// WAL is poisoned (a poisoned WAL needs a restart + Recover); otherwise
+  /// the probe's typed error while the volume is still unwritable. The
+  /// probe is deterministic — no waiting or wall-clock backoff — so a
+  /// resume schedule driven by the request stream replays bit-identically.
+  Status TryResume();
+
+  /// Mutating requests rejected with kDegradedReadOnly so far.
+  uint64_t degraded_rejections() const {
+    return degraded_rejections_.load(std::memory_order_acquire);
+  }
+
   /// Executes `log` in order with batched parallelism (see class comment)
   /// and returns one Response per request, in log order. Thread-safe:
   /// concurrent callers serialize on an internal execution mutex, so two
@@ -255,6 +292,16 @@ class Service {
   Status CheckpointLocked();
   void MaybeAutoCheckpointLocked();
 
+  // Degraded-mode machinery; all require execute_mutex_.
+  void EnterFaultModeLocked(const Status& cause);
+  // Read-only execution while degraded: predicts/evaluates serve the last
+  // durable state WITHOUT consuming log positions or touching the WAL
+  // (consumed-but-unlogged positions would desync the Rng::Fork(seed,
+  // position) train streams between this service and a recovered replica);
+  // every mutating request is rejected with kDegradedReadOnly.
+  std::vector<Response> ExecuteReadOnlyLocked(const std::vector<Request>& log);
+  Response DegradedRejectionLocked();
+
   // Handlers; `position` is the request's absolute log position.
   Response DoInsert(const Request& request);
   Response DoDelete(const Request& request);
@@ -292,6 +339,12 @@ class Service {
   std::unique_ptr<DurabilityOptions> durability_;
   uint64_t options_fingerprint_ = 0;
   uint64_t last_checkpoint_position_ = 0;
+
+  // Degradation state (docs/FAULTS.md). The mode is atomic so
+  // serving_mode() needs no lock; transitions happen under execute_mutex_.
+  std::atomic<int> serving_mode_{0};
+  std::atomic<uint64_t> degraded_rejections_{0};
+  std::string degrade_reason_;  // guarded by execute_mutex_
 
   std::mutex queue_mutex_;
   std::vector<Request> queue_;

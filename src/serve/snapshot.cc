@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/io_util.h"
 
 namespace fm::serve {
@@ -16,6 +17,19 @@ constexpr char kMagic[8] = {'F', 'M', 'S', 'N', 'A', 'P', '0', '1'};
 constexpr uint32_t kFormatVersion = 1;
 constexpr char kSuffix[] = ".fmsnap";
 constexpr char kPrefix[] = "snapshot-";
+constexpr char kTmpSuffix[] = ".fmsnap.tmp";
+
+io::Env& EnvOrDefault(io::Env* env) {
+  return env != nullptr ? *env : io::Env::Default();
+}
+
+bool HasPrefixSuffix(const std::string& name, const char* prefix,
+                     size_t prefix_len, const char* suffix,
+                     size_t suffix_len) {
+  return name.size() > prefix_len + suffix_len &&
+         name.compare(0, prefix_len, prefix) == 0 &&
+         name.compare(name.size() - suffix_len, suffix_len, suffix) == 0;
+}
 
 }  // namespace
 
@@ -56,8 +70,9 @@ std::string SnapshotFileName(uint64_t position) {
 
 Status WriteSnapshotFile(const std::string& dir, uint64_t position,
                          uint64_t fingerprint, const std::string& payload,
-                         bool sync) {
-  FM_RETURN_NOT_OK(io::CreateDirectories(dir));
+                         bool sync, io::Env* env) {
+  io::Env& fs = EnvOrDefault(env);
+  FM_RETURN_NOT_OK(fs.CreateDirectories(dir));
   std::string file;
   file.reserve(8 + 4 + 4 + 8 + 8 + 8 + payload.size());
   io::AppendBytes(&file, kMagic, sizeof(kMagic));
@@ -69,15 +84,17 @@ Status WriteSnapshotFile(const std::string& dir, uint64_t position,
   file.append(payload);
   const std::string path =
       (std::filesystem::path(dir) / SnapshotFileName(position)).string();
-  return io::WriteFileAtomic(path, file, sync);
+  return io::WriteFileAtomic(fs, path, file, sync);
 }
 
 namespace {
 
 // Parses and validates one snapshot file; any failure means "skip it".
-Result<SnapshotContents> ParseSnapshotFile(const std::string& path,
+Result<SnapshotContents> ParseSnapshotFile(io::Env& fs,
+                                           const std::string& path,
                                            uint64_t fingerprint) {
-  FM_ASSIGN_OR_RETURN(const std::string file, io::ReadFileToString(path));
+  FM_ASSIGN_OR_RETURN(const std::string file,
+                      io::ReadFileToString(fs, path));
   if (file.size() < sizeof(kMagic) ||
       std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::IoError("snapshot magic mismatch");
@@ -118,15 +135,14 @@ Result<SnapshotContents> ParseSnapshotFile(const std::string& path,
   return contents;
 }
 
-std::vector<std::string> SnapshotFilesNewestFirst(const std::string& dir) {
-  const Result<std::vector<std::string>> names = io::ListDirectory(dir);
+std::vector<std::string> SnapshotFilesNewestFirst(io::Env& fs,
+                                                  const std::string& dir) {
+  const Result<std::vector<std::string>> names = fs.ListDirectory(dir);
   if (!names.ok()) return {};
   std::vector<std::string> snapshots;
   for (const std::string& name : names.ValueOrDie()) {
-    if (name.size() > sizeof(kSuffix) - 1 + sizeof(kPrefix) - 1 &&
-        name.compare(0, sizeof(kPrefix) - 1, kPrefix) == 0 &&
-        name.compare(name.size() - (sizeof(kSuffix) - 1),
-                     sizeof(kSuffix) - 1, kSuffix) == 0) {
+    if (HasPrefixSuffix(name, kPrefix, sizeof(kPrefix) - 1, kSuffix,
+                        sizeof(kSuffix) - 1)) {
       snapshots.push_back(name);
     }
   }
@@ -138,20 +154,38 @@ std::vector<std::string> SnapshotFilesNewestFirst(const std::string& dir) {
 }  // namespace
 
 Result<SnapshotContents> LoadLatestSnapshot(const std::string& dir,
-                                            uint64_t fingerprint) {
-  for (const std::string& name : SnapshotFilesNewestFirst(dir)) {
+                                            uint64_t fingerprint,
+                                            io::Env* env) {
+  io::Env& fs = EnvOrDefault(env);
+  for (const std::string& name : SnapshotFilesNewestFirst(fs, dir)) {
     const std::string path = (std::filesystem::path(dir) / name).string();
-    Result<SnapshotContents> parsed = ParseSnapshotFile(path, fingerprint);
+    Result<SnapshotContents> parsed =
+        ParseSnapshotFile(fs, path, fingerprint);
     if (parsed.ok()) return parsed;
   }
   return Status::NotFound("no valid snapshot under " + dir);
 }
 
-Status PruneSnapshots(const std::string& dir, size_t keep) {
-  const std::vector<std::string> snapshots = SnapshotFilesNewestFirst(dir);
+Status PruneSnapshots(const std::string& dir, size_t keep, io::Env* env) {
+  io::Env& fs = EnvOrDefault(env);
+  const std::vector<std::string> snapshots =
+      SnapshotFilesNewestFirst(fs, dir);
   for (size_t i = keep; i < snapshots.size(); ++i) {
-    FM_RETURN_NOT_OK(io::RemoveFileIfExists(
+    FM_RETURN_NOT_OK(fs.RemoveFileIfExists(
         (std::filesystem::path(dir) / snapshots[i]).string()));
+  }
+  // A crash inside WriteFileAtomic (or between write and rename at power
+  // cut) can strand a `snapshot-*.fmsnap.tmp`; LoadLatestSnapshot never
+  // selects one, so the pruner is their only janitor.
+  const Result<std::vector<std::string>> names = fs.ListDirectory(dir);
+  if (names.ok()) {
+    for (const std::string& name : names.ValueOrDie()) {
+      if (HasPrefixSuffix(name, kPrefix, sizeof(kPrefix) - 1, kTmpSuffix,
+                          sizeof(kTmpSuffix) - 1)) {
+        FM_RETURN_NOT_OK(fs.RemoveFileIfExists(
+            (std::filesystem::path(dir) / name).string()));
+      }
+    }
   }
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/io_env.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "serve/budget_accountant.h"
@@ -55,20 +56,27 @@ std::string SnapshotFileName(uint64_t position);
 
 /// Atomically writes `payload` (an EncodeSnapshot result) as the snapshot
 /// for `position` under `dir`, creating the directory if needed. With
-/// `sync` the file and directory are fsynced.
+/// `sync` the file and directory are fsynced (checked before the rename).
+/// Failure is contained: the tmp file is unlinked, the previous newest
+/// valid snapshot remains selectable, and the caller just misses one
+/// checkpoint. `env` nullptr → io::Env::Default().
 Status WriteSnapshotFile(const std::string& dir, uint64_t position,
                          uint64_t fingerprint, const std::string& payload,
-                         bool sync);
+                         bool sync, io::Env* env = nullptr);
 
 /// Loads the newest snapshot under `dir` whose envelope and CRC validate
 /// and whose fingerprint matches; invalid/torn files are skipped (a crashed
 /// checkpoint must not poison recovery). kNotFound when no valid snapshot
 /// exists (including when `dir` is missing — a fresh service).
 Result<SnapshotContents> LoadLatestSnapshot(const std::string& dir,
-                                            uint64_t fingerprint);
+                                            uint64_t fingerprint,
+                                            io::Env* env = nullptr);
 
-/// Deletes all but the `keep` newest snapshot files under `dir`.
-Status PruneSnapshots(const std::string& dir, size_t keep);
+/// Deletes all but the `keep` newest snapshot files under `dir`, plus any
+/// stale `snapshot-*.fmsnap.tmp` leftovers (a crash inside an atomic write
+/// can strand one, and nothing else collects them).
+Status PruneSnapshots(const std::string& dir, size_t keep,
+                      io::Env* env = nullptr);
 
 }  // namespace fm::serve
 

@@ -1,13 +1,11 @@
 #include "serve/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 
+#include "common/io_env.h"
 #include "common/io_util.h"
 
 namespace fm::serve {
@@ -191,8 +189,10 @@ Status Wal::DecodeRecord(io::ByteReader& reader, WalRecord* out) {
   return DecodeRequestPayload(payload, &out->request);
 }
 
-Result<WalReplay> Wal::ReadAll(const std::string& path, uint64_t fingerprint) {
-  FM_ASSIGN_OR_RETURN(const std::string file, io::ReadFileToString(path));
+Result<WalReplay> Wal::ReadAll(const std::string& path, uint64_t fingerprint,
+                               io::Env* env) {
+  io::Env& fs = env != nullptr ? *env : io::Env::Default();
+  FM_ASSIGN_OR_RETURN(const std::string file, io::ReadFileToString(fs, path));
   FM_RETURN_NOT_OK(CheckHeader(file, fingerprint));
 
   WalReplay replay;
@@ -215,38 +215,39 @@ Result<WalReplay> Wal::ReadAll(const std::string& path, uint64_t fingerprint) {
   return replay;
 }
 
-Wal::Wal(const WalOptions& options, int fd, uint64_t file_bytes)
+Wal::Wal(const WalOptions& options, std::unique_ptr<io::File> file,
+         uint64_t file_bytes)
     : options_(options),
-      fd_(fd),
+      file_(std::move(file)),
       file_bytes_(file_bytes),
       last_sync_seconds_(MonotonicSeconds()) {}
 
-Wal::~Wal() {
-  if (fd_ >= 0) ::close(fd_);
-}
+Wal::~Wal() = default;
 
 Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
                                        uint64_t fingerprint) {
   if (options.path.empty()) {
     return Status::InvalidArgument("WAL path must be non-empty");
   }
+  io::Env& env = options.env != nullptr ? *options.env : io::Env::Default();
   uint64_t valid_bytes = 0;
-  const Result<std::string> existing = io::ReadFileToString(options.path);
+  const Result<std::string> existing =
+      io::ReadFileToString(env, options.path);
   if (existing.ok()) {
     FM_ASSIGN_OR_RETURN(const WalReplay replay,
-                        ReadAll(options.path, fingerprint));
+                        ReadAll(options.path, fingerprint, options.env));
     if (replay.torn_tail) {
       // Drop the torn suffix so appends continue on a record boundary.
-      FM_RETURN_NOT_OK(io::TruncateFile(options.path, replay.valid_bytes));
+      FM_RETURN_NOT_OK(env.TruncateFile(options.path, replay.valid_bytes));
     }
     valid_bytes = replay.valid_bytes;
   } else if (existing.status().code() == StatusCode::kNotFound) {
     const std::string parent =
         std::filesystem::path(options.path).parent_path().string();
     if (!parent.empty()) {
-      FM_RETURN_NOT_OK(io::CreateDirectories(parent));
+      FM_RETURN_NOT_OK(env.CreateDirectories(parent));
     }
-    FM_RETURN_NOT_OK(io::WriteFileAtomic(options.path,
+    FM_RETURN_NOT_OK(io::WriteFileAtomic(env, options.path,
                                          EncodeHeader(fingerprint),
                                          /*sync=*/options.sync !=
                                              WalSyncMode::kNone));
@@ -255,12 +256,14 @@ Result<std::unique_ptr<Wal>> Wal::Open(const WalOptions& options,
     return existing.status();
   }
 
-  const int fd = ::open(options.path.c_str(), O_WRONLY | O_APPEND);
-  if (fd < 0) {
+  Result<std::unique_ptr<io::File>> file =
+      env.Open(options.path, io::OpenMode::kAppend);
+  if (!file.ok()) {
     return Status::IoError("cannot open WAL " + options.path + ": " +
-                           std::strerror(errno));
+                           file.status().message());
   }
-  return std::unique_ptr<Wal>(new Wal(options, fd, valid_bytes));
+  return std::unique_ptr<Wal>(
+      new Wal(options, std::move(file).ValueOrDie(), valid_bytes));
 }
 
 void Wal::Append(uint64_t position, const Request& request) {
@@ -268,55 +271,122 @@ void Wal::Append(uint64_t position, const Request& request) {
   ++pending_records_;
 }
 
+Status Wal::PoisonedStatus() const {
+  return Status::IoError(
+      "WAL " + options_.path +
+      " is poisoned by an earlier failed write/fsync; no further commits "
+      "are accepted (restart the service and Recover)");
+}
+
 Status Wal::Commit() {
+  if (poisoned_) return PoisonedStatus();
   if (pending_.empty()) return Status::OK();
-  size_t written = 0;
-  while (written < pending_.size()) {
-    const ssize_t n =
-        ::write(fd_, pending_.data() + written, pending_.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // The batch is dropped, not retried: the service fails the requests
-      // it covers, so replaying these records later would be wrong. Roll
-      // the file back to the last good boundary so a partially-written
-      // record cannot sit in the middle of the log.
-      pending_.clear();
-      pending_records_ = 0;
-      (void)::ftruncate(fd_, static_cast<off_t>(file_bytes_));
-      return Status::IoError("WAL write failed for " + options_.path + ": " +
-                             std::strerror(errno));
-    }
-    written += static_cast<size_t>(n);
-  }
-  file_bytes_ += pending_.size();
-  appended_records_ += pending_records_;
-  records_since_sync_ += pending_records_;
+  const uint64_t batch_bytes = pending_.size();
+  const size_t batch_records = pending_records_;
+  // EINTR and short writes are retried inside FullWrite with the bounded
+  // deterministic policy; only real faults surface here.
+  const Status written =
+      io::FullWrite(*file_, pending_.data(), pending_.size(), &retry_stats_);
   pending_.clear();
   pending_records_ = 0;
-  ++commit_batches_;
+  if (!written.ok()) {
+    // The batch is dropped, not retried: the service fails the requests it
+    // covers, so replaying these records later would be wrong. Roll the
+    // file back to the last good boundary so a partially-written record
+    // cannot sit in the middle of the log. ENOSPC with a clean rollback is
+    // resumable (read-only degradation + ProbeWritable); anything else —
+    // including a failed rollback — poisons the WAL.
+    const Status rolled = file_->Truncate(file_bytes_);
+    if (!rolled.ok() ||
+        written.code() != StatusCode::kResourceExhausted) {
+      poisoned_ = true;
+    }
+    return Status(written.code(),
+                  "WAL write failed for " + options_.path + ": " +
+                      written.message() +
+                      (poisoned_ ? " (WAL poisoned)" : ""));
+  }
 
+  bool sync_now = false;
   switch (options_.sync) {
     case WalSyncMode::kNone:
-      return Status::OK();
+      break;
     case WalSyncMode::kAlways:
-      return Sync();
+      sync_now = true;
+      break;
     case WalSyncMode::kBatch: {
       const double now = MonotonicSeconds();
-      if (records_since_sync_ >= options_.batch_max_records ||
-          now - last_sync_seconds_ >= options_.batch_window_seconds) {
-        return Sync();
-      }
-      return Status::OK();
+      sync_now = records_since_sync_ + batch_records >=
+                     options_.batch_max_records ||
+                 now - last_sync_seconds_ >= options_.batch_window_seconds;
+      break;
     }
   }
+  if (sync_now) {
+    const Status synced = file_->Sync();
+    if (!synced.ok()) {
+      // fsyncgate: a failed fsync may have DROPPED the dirty pages, and a
+      // retried fsync that then "succeeds" proves nothing about them. The
+      // batch is rejected, the file rolled back (best-effort; a process
+      // crash here already loses no acknowledged data because nothing in
+      // this batch was acknowledged), and the WAL refuses all future
+      // writes. Earlier batches synced in previous windows are unaffected.
+      poisoned_ = true;
+      (void)file_->Truncate(file_bytes_);
+      return Status::IoError(
+          "WAL fsync failed for " + options_.path + ": " + synced.message() +
+          " — WAL poisoned; the batch is rejected and never retried");
+    }
+    ++sync_count_;
+    records_since_sync_ = 0;
+    last_sync_seconds_ = MonotonicSeconds();
+  } else {
+    records_since_sync_ += batch_records;
+  }
+
+  file_bytes_ += batch_bytes;
+  appended_records_ += batch_records;
+  ++commit_batches_;
   return Status::OK();
 }
 
 Status Wal::Sync() {
-  FM_RETURN_NOT_OK(io::SyncFd(fd_));
+  if (poisoned_) return PoisonedStatus();
+  const Status synced = file_->Sync();
+  if (!synced.ok()) {
+    // Same fsyncgate rule as Commit: never retry a failed fsync. There is
+    // no in-flight batch to roll back here; committed-but-unsynced records
+    // from earlier kNone/kBatch windows have unknowable durability, which
+    // is exactly why the WAL must stop acknowledging.
+    poisoned_ = true;
+    return Status::IoError("WAL fsync failed for " + options_.path + ": " +
+                           synced.message() + " — WAL poisoned");
+  }
   ++sync_count_;
   records_since_sync_ = 0;
   last_sync_seconds_ = MonotonicSeconds();
+  return Status::OK();
+}
+
+Status Wal::ProbeWritable() {
+  if (poisoned_) return PoisonedStatus();
+  // Zero bytes can never decode as a record (the CRC of the zero header
+  // never matches), so even a crash between the write and the truncate
+  // leaves only a torn tail that Open() trims.
+  static constexpr char kProbe[16] = {};
+  const Status written =
+      io::FullWrite(*file_, kProbe, sizeof(kProbe), &retry_stats_);
+  const Status rolled = file_->Truncate(file_bytes_);
+  if (!rolled.ok()) {
+    poisoned_ = true;
+    return Status::IoError("WAL probe rollback failed for " + options_.path +
+                           ": " + rolled.message() + " — WAL poisoned");
+  }
+  if (!written.ok()) {
+    return Status(written.code(), "WAL probe write failed for " +
+                                      options_.path + ": " +
+                                      written.message());
+  }
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io_env.h"
 #include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -37,6 +38,10 @@ struct WalOptions {
   double batch_window_seconds = 0.002;
   /// kBatch: fsync after at most this many records, regardless of window.
   size_t batch_max_records = 256;
+  /// Filesystem seam; nullptr → io::Env::Default(). Runtime wiring only
+  /// (fault injection in tests/fuzzing) — not part of the options
+  /// fingerprint, so a log written through one env recovers through any.
+  io::Env* env = nullptr;
 };
 
 /// Everything Service::EnableDurability / Service::Recover need: where the
@@ -110,8 +115,10 @@ class Wal {
   /// a torn/corrupt tail sets `torn_tail` instead of failing, because a
   /// crashed writer legitimately leaves one. Fails only when the file is
   /// missing, the header is unreadable, or the fingerprint mismatches.
+  /// `env` nullptr → io::Env::Default().
   static Result<WalReplay> ReadAll(const std::string& path,
-                                   uint64_t fingerprint);
+                                   uint64_t fingerprint,
+                                   io::Env* env = nullptr);
 
   /// Buffers one record for the next Commit.
   void Append(uint64_t position, const Request& request);
@@ -119,11 +126,40 @@ class Wal {
   /// Writes all buffered records and applies the sync policy. Empty buffer
   /// is a no-op. On failure the batch is dropped and the file rolled back
   /// to the last record boundary — the caller fails the requests the batch
-  /// covered, so they must not resurface on replay.
+  /// covered, so they must not resurface on replay. Failure taxonomy
+  /// (docs/FAULTS.md):
+  ///  - EINTR / short writes are retried inside the commit with the bounded
+  ///    deterministic loop (io::FullWrite); they never surface to callers.
+  ///  - ENOSPC with a clean rollback returns kResourceExhausted — the WAL
+  ///    stays healthy and ProbeWritable() can re-admit writes later.
+  ///  - Any other write error, a failed rollback truncate (a partial record
+  ///    may sit mid-log), or a failed fsync POISONS the WAL: the batch is
+  ///    rejected and every later Commit/Sync/ProbeWritable short-circuits
+  ///    with kIoError without touching the file. A failed fsync is never
+  ///    retried — the kernel may already have dropped the dirty pages, so a
+  ///    "successful" second fsync would acknowledge data that never hit the
+  ///    platter. Only a restart + Service::Recover (which re-reads what is
+  ///    actually on disk) exits the poisoned state.
   Status Commit();
 
-  /// Forces an fsync regardless of mode (used before checkpoints).
+  /// Forces an fsync regardless of mode (used before checkpoints). A
+  /// failure poisons the WAL (see Commit).
   Status Sync();
+
+  /// True once a non-recoverable write/fsync failure rejected a batch; the
+  /// WAL refuses all further writes.
+  bool poisoned() const { return poisoned_; }
+
+  /// Degraded-mode probe (Service::TryResume): appends a small zero probe
+  /// and truncates it back off. Success means the volume accepts bytes
+  /// again; failure leaves the file exactly as it was (the zero probe can
+  /// only ever read as a torn tail). A failed truncate-back poisons the
+  /// WAL, since the probe bytes would sit at the append point.
+  Status ProbeWritable();
+
+  /// Transient-fault retry counters accumulated by commits and probes;
+  /// all-zero on a healthy volume (the bench_serve no-fault gate).
+  const io::RetryStats& retry_stats() const { return retry_stats_; }
 
   const WalOptions& options() const { return options_; }
   uint64_t appended_records() const { return appended_records_; }
@@ -144,10 +180,13 @@ class Wal {
   static Status DecodeRecord(io::ByteReader& reader, WalRecord* out);
 
  private:
-  Wal(const WalOptions& options, int fd, uint64_t file_bytes);
+  Wal(const WalOptions& options, std::unique_ptr<io::File> file,
+      uint64_t file_bytes);
+
+  Status PoisonedStatus() const;
 
   WalOptions options_;
-  int fd_;
+  std::unique_ptr<io::File> file_;
   uint64_t file_bytes_;
   std::string pending_;          // encoded, not yet written
   size_t pending_records_ = 0;
@@ -156,6 +195,8 @@ class Wal {
   uint64_t sync_count_ = 0;
   size_t records_since_sync_ = 0;
   double last_sync_seconds_ = 0.0;  // monotonic clock, seconds
+  bool poisoned_ = false;
+  io::RetryStats retry_stats_;
 };
 
 }  // namespace fm::serve
