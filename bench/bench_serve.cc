@@ -393,6 +393,8 @@ int main(int argc, char** argv) {
     uint64_t degraded_rejections = 0;
     bool wal_poisoned = false;
     bool ok = false;
+    // Full metrics snapshot (Service::MetricsSnapshot JSON) of the run.
+    std::string metrics_json;
   };
   const auto scratch_dir = [&](const char* tag) {
     namespace fs = std::filesystem;
@@ -410,28 +412,38 @@ int main(int argc, char** argv) {
     durability.snapshot_dir = dir + "/snapshots";
     return durability;
   };
-  const auto run_durable = [&](serve::WalSyncMode mode) {
+  // `repeat` streams the log through the service that many times inside the
+  // timed region (inserts only, so re-ingesting is a valid workload) — the
+  // overhead comparison below needs a longer measurement than one smoke-
+  // sized pass to rise above write(2) scheduling noise.
+  const auto run_durable = [&](serve::WalSyncMode mode,
+                               bool enable_metrics = true, size_t repeat = 1) {
     DurableRun result;
     const std::string dir = scratch_dir(serve::WalSyncModeToString(mode));
     const auto durability = make_durability(dir, mode);
-    auto durable_service = serve::Service::Create(options).ValueOrDie();
+    serve::ServiceOptions durable_options = options;
+    durable_options.enable_metrics = enable_metrics;
+    auto durable_service = serve::Service::Create(durable_options).ValueOrDie();
     if (!durable_service->EnableDurability(durability).ok()) {
       std::fprintf(stderr, "durable(%s): EnableDurability failed\n",
                    serve::WalSyncModeToString(mode));
       return result;
     }
     eval::Stopwatch durable_watch;
-    for (size_t i = 0; i < durable_log.size(); i += kDurableChunk) {
-      const size_t end = std::min(i + kDurableChunk, durable_log.size());
-      const std::vector<serve::Request> chunk(
-          durable_log.begin() + static_cast<std::ptrdiff_t>(i),
-          durable_log.begin() + static_cast<std::ptrdiff_t>(end));
-      if (!AllOk(durable_service->ExecuteLog(chunk), "durable ingest")) {
-        return result;
+    for (size_t pass = 0; pass < repeat; ++pass) {
+      for (size_t i = 0; i < durable_log.size(); i += kDurableChunk) {
+        const size_t end = std::min(i + kDurableChunk, durable_log.size());
+        const std::vector<serve::Request> chunk(
+            durable_log.begin() + static_cast<std::ptrdiff_t>(i),
+            durable_log.begin() + static_cast<std::ptrdiff_t>(end));
+        if (!AllOk(durable_service->ExecuteLog(chunk), "durable ingest")) {
+          return result;
+        }
       }
     }
     const double seconds = durable_watch.Seconds();
-    result.rps = static_cast<double>(durable_log.size()) / seconds;
+    result.rps =
+        static_cast<double>(durable_log.size() * repeat) / seconds;
     result.commit_batches = durable_service->wal()->commit_batches();
     result.syncs = durable_service->wal()->sync_count();
     const io::RetryStats& retries = durable_service->wal()->retry_stats();
@@ -440,6 +452,7 @@ int main(int argc, char** argv) {
     result.wal_poisoned = durable_service->wal()->poisoned();
     result.mean_commit_ms =
         seconds / static_cast<double>(result.commit_batches) * 1e3;
+    result.metrics_json = durable_service->MetricsSnapshot();
     result.ok = true;
     return result;
   };
@@ -456,6 +469,51 @@ int main(int argc, char** argv) {
   const bool durable_poisoned = durable_none.wal_poisoned ||
                                 durable_batch.wal_poisoned ||
                                 durable_always.wal_poisoned;
+
+  // --- telemetry overhead: metrics on vs off ------------------------------
+  // The observability contract's perf half: instrumentation must cost ≈0
+  // (one segment clock read + a relaxed atomic add per request). Runs
+  // alternate on/off so machine drift lands on both sides equally, and the
+  // ratio compares best-of throughput per side — the min-time estimator,
+  // which filters scheduler noise far better than a median at these run
+  // lengths. Recorded as off-throughput / on-throughput: ~1.00 means
+  // metrics are free, 1.02 means they cost 2%.
+  // The per-run workloads are small, so best-of needs more samples than
+  // the throughput phases to converge; the runs themselves are cheap.
+  const size_t overhead_repeats = std::max<size_t>(9, flags.repeats);
+  std::vector<double> overhead_durable_on, overhead_durable_off;
+  std::vector<double> overhead_churn_on, overhead_churn_off;
+  for (size_t r = 0; r < overhead_repeats; ++r) {
+    // Alternate which side goes first: each run's dirty-page writeback
+    // lands on its successor, so a fixed order would bias one side.
+    const bool on_first = (r % 2 == 0);
+    const DurableRun first =
+        run_durable(serve::WalSyncMode::kNone, on_first, 4);
+    const DurableRun second =
+        run_durable(serve::WalSyncMode::kNone, !on_first, 4);
+    if (!first.ok || !second.ok) return 1;
+    overhead_durable_on.push_back(on_first ? first.rps : second.rps);
+    overhead_durable_off.push_back(on_first ? second.rps : first.rps);
+    for (const bool metrics_on : {on_first, !on_first}) {
+      serve::ServiceOptions overhead_options = churn_options;
+      overhead_options.enable_metrics = metrics_on;
+      auto overhead_service =
+          serve::Service::Create(overhead_options).ValueOrDie();
+      watch.Reset();
+      const auto responses = overhead_service->ExecuteLog(churn_log);
+      const double seconds = watch.Seconds();
+      if (!AllOk(responses, "churn overhead")) return 1;
+      (metrics_on ? overhead_churn_on : overhead_churn_off)
+          .push_back(static_cast<double>(churn_log.size()) / seconds);
+    }
+  }
+  const auto best = [](const std::vector<double>& rps) {
+    return *std::max_element(rps.begin(), rps.end());
+  };
+  const double metrics_overhead_durable =
+      best(overhead_durable_off) / best(overhead_durable_on);
+  const double metrics_overhead_churn =
+      best(overhead_churn_off) / best(overhead_churn_on);
 
   // Recovery: a durable run with a mid-stream checkpoint (snapshot + WAL
   // tail), recovered in-process and byte-compared against an uninterrupted
@@ -543,6 +601,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(durable_always.commit_batches));
   std::printf("%-34s %12.3f ms (snapshot + WAL tail, bitwise-verified)\n",
               "recovery", recovery_seconds * 1e3);
+  std::printf("%-34s %12.3fx (off/on throughput, durable sync=none)\n",
+              "metrics overhead, durable ingest", metrics_overhead_durable);
+  std::printf("%-34s %12.3fx (off/on throughput)\n",
+              "metrics overhead, churn", metrics_overhead_churn);
   std::printf("%-34s %8llu retries / %llu degraded / %s\n",
               "fault counters (must be clean)",
               static_cast<unsigned long long>(durable_io_retries),
@@ -601,7 +663,10 @@ int main(int argc, char** argv) {
                  "  \"durable_degraded_rejections\": %llu,\n"
                  "  \"durable_wal_poisoned\": %s,\n"
                  "  \"recovery_seconds\": %.9f,\n"
-                 "  \"recovered_bitwise_equal\": true\n"
+                 "  \"recovered_bitwise_equal\": true,\n"
+                 "  \"metrics_overhead_durable_ratio\": %.4f,\n"
+                 "  \"metrics_overhead_churn_ratio\": %.4f,\n"
+                 "  \"metrics\": %s\n"
                  "}\n",
                  flags.n, flags.dim, live, threads, flags.repeats,
                  bootstrap_rows_per_sec, ingest_rps, predict_rps, mixed_rps,
@@ -619,7 +684,9 @@ int main(int argc, char** argv) {
                      durable_batch.commit_batches),
                  static_cast<unsigned long long>(durable_io_retries),
                  static_cast<unsigned long long>(durable_degraded),
-                 durable_poisoned ? "true" : "false", recovery_seconds);
+                 durable_poisoned ? "true" : "false", recovery_seconds,
+                 metrics_overhead_durable, metrics_overhead_churn,
+                 durable_batch.metrics_json.c_str());
     std::fclose(f);
     std::printf("\nwrote %s\n", flags.out.c_str());
   }

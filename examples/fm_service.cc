@@ -22,6 +22,11 @@
 //      the full state, and recovery (snapshot + WAL-tail replay) rebuilds
 //      a service bitwise-equal to the uninterrupted one — even when the
 //      crash tears the final record in half.
+//   6. Telemetry is observation-only: the metrics registry counts every
+//      request into exactly one per-kind outcome counter and exports a
+//      Prometheus/JSON surface, without ever touching response bytes
+//      (docs/OBSERVABILITY.md) — so only deterministic counts appear on
+//      this stdout.
 //
 // Build & run:
 //   cmake -B build -S . && cmake --build build -j --target fm_service
@@ -32,6 +37,7 @@
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "baselines/fm_algorithm.h"
@@ -41,6 +47,7 @@
 #include "core/objective_accumulator.h"
 #include "data/census_generator.h"
 #include "data/normalizer.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 #include "serve/wal.h"
 
@@ -371,6 +378,58 @@ int main() {
 
   recovered.reset();
   fs::remove_all(scratch_dir, scratch_ec);
+
+  // 8. Telemetry. The main service counted every request above into
+  //    exactly one per-kind outcome counter; the counters are deterministic
+  //    (they mirror the log, not the clock) so they can be printed here —
+  //    this stdout is byte-diffed across FM_THREADS / FM_BLOCKED_LINALG in
+  //    CI. Latency histograms exist too, but wall-clock numbers stay off
+  //    this stdout; the exporters are checked for shape only.
+  std::printf("\ntelemetry (deterministic counters only):\n");
+  obs::MetricsRegistry* metrics = service->metrics();
+  static const char* const kOutcomes[] = {
+      "ok",           "invalid_argument",   "not_found",
+      "failed_precondition", "resource_exhausted", "degraded_read_only",
+      "io_error",     "other"};
+  uint64_t outcome_total = 0;
+  for (size_t k = 0; k < serve::kNumRequestKinds; ++k) {
+    const std::string kind =
+        serve::RequestKindToString(static_cast<serve::RequestKind>(k));
+    uint64_t kind_total = 0;
+    for (const char* outcome : kOutcomes) {
+      kind_total += metrics
+                        ->GetCounter("fm_serve_requests_total{kind=\"" + kind +
+                                     "\",outcome=\"" + outcome + "\"}")
+                        ->Value();
+    }
+    outcome_total += kind_total;
+    const uint64_t ok_count =
+        metrics
+            ->GetCounter("fm_serve_requests_total{kind=\"" + kind +
+                         "\",outcome=\"ok\"}")
+            ->Value();
+    if (kind_total != 0) {
+      std::printf("    %-8s : %llu requests, %llu ok\n", kind.c_str(),
+                  static_cast<unsigned long long>(kind_total),
+                  static_cast<unsigned long long>(ok_count));
+    }
+  }
+  std::printf("    total    : %llu outcomes recorded at log position %llu\n",
+              static_cast<unsigned long long>(outcome_total),
+              static_cast<unsigned long long>(service->log_position()));
+  ok &= Check(outcome_total == service->log_position(),
+              "every request recorded exactly one outcome counter");
+  const std::string prometheus = service->DumpMetrics();
+  ok &= Check(prometheus.find("# TYPE fm_serve_requests_total counter") !=
+                      std::string::npos &&
+                  prometheus.find("fm_serve_request_nanos") !=
+                      std::string::npos,
+              "Prometheus export carries the serve counters and histograms");
+  const std::string snapshot = service->MetricsSnapshot();
+  ok &= Check(snapshot.find("\"fm_store_live_tuples\"") != std::string::npos &&
+                  snapshot.find("\"fm_budget_epsilon_spent\"") !=
+                      std::string::npos,
+              "JSON snapshot carries the store and budget gauges");
 
   std::printf("\n%s\n", ok ? "all serving-layer checks passed"
                            : "SERVING-LAYER CHECK FAILED");

@@ -3,7 +3,9 @@
 // Modes (see docs/FUZZING.md):
 //   fuzz_determinism --seeds=50 --requests=200 [--time_budget_s=1500]
 //       Budgeted fuzz: generate seeded workloads and execute each under the
-//       full knob matrix (threads x kernel mode x batching x crash points).
+//       full knob matrix (threads x kernel mode x batching x crash points,
+//       plus a metrics-off run per thread/kernel pair — telemetry is
+//       observation-only and must not change a byte).
 //       On divergence the log is ddmin-minimized and written as a repro
 //       artifact; exit code 1.
 //   fuzz_determinism --replay=path/to/repro.fmfuzz [--minimize]
@@ -24,7 +26,6 @@
 //
 // Exit codes: 0 = clean, 1 = divergence (or self-check failure), 2 = usage.
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/clock.h"
 #include "serve/replay.h"
 #include "serve/service.h"
 
@@ -188,20 +190,15 @@ int RunFuzz(const Flags& flags) {
       "(+reference), %zu crash points per crash run\n",
       flags.seeds, flags.requests, matrix, flags.crash_points);
 
-  const auto start = std::chrono::steady_clock::now();
+  const fm::obs::Stopwatch stopwatch;
   size_t executed = 0;
   size_t divergences = 0;
   for (size_t i = 0; i < flags.seeds; ++i) {
-    if (flags.time_budget_s > 0.0) {
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      if (elapsed >= flags.time_budget_s) {
-        std::printf("time budget exhausted after %zu/%zu seeds (%.1fs)\n",
-                    executed, flags.seeds, elapsed);
-        break;
-      }
+    if (flags.time_budget_s > 0.0 &&
+        stopwatch.Seconds() >= flags.time_budget_s) {
+      std::printf("time budget exhausted after %zu/%zu seeds (%.1fs)\n",
+                  executed, flags.seeds, stopwatch.Seconds());
+      break;
     }
     const uint64_t seed = flags.seed_base + i;
     const WorkloadOptions workload = SeedWorkload(flags, seed);
@@ -231,13 +228,11 @@ int RunFuzz(const Flags& flags) {
                            ".fmfuzz");
     }
   }
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
   std::printf(
       "summary: %zu logs x %zu runs each = %zu replays in %.1fs, "
       "%zu divergence(s)\n",
-      executed, matrix + 1, executed * (matrix + 1), elapsed, divergences);
+      executed, matrix + 1, executed * (matrix + 1), stopwatch.Seconds(),
+      divergences);
   std::error_code ec;
   std::filesystem::remove_all(differential.scratch_dir, ec);
   return divergences == 0 ? 0 : 1;
@@ -245,12 +240,13 @@ int RunFuzz(const Flags& flags) {
 
 int RunFaults(const Flags& flags) {
   std::printf(
-      "fuzz_determinism --faults: %zu seeds x %zu requests, 4 runs per seed "
-      "(threads {1,8} x linalg {blocked,scalar}), recovery proof per run\n",
+      "fuzz_determinism --faults: %zu seeds x %zu requests, 5 runs per seed "
+      "(threads {1,8} x linalg {blocked,scalar}, plus metrics-off), "
+      "recovery proof per run\n",
       flags.seeds, flags.requests);
 
   const std::string scratch_dir = flags.out_dir + "/fault-scratch";
-  const auto start = std::chrono::steady_clock::now();
+  const fm::obs::Stopwatch stopwatch;
   size_t executed = 0;
   size_t failures = 0;
   // Coverage totals: a fault sweep that injected nothing proves nothing,
@@ -259,16 +255,11 @@ int RunFaults(const Flags& flags) {
   uint64_t degraded_total = 0;
   size_t poisoned_runs = 0;
   for (size_t i = 0; i < flags.seeds; ++i) {
-    if (flags.time_budget_s > 0.0) {
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      if (elapsed >= flags.time_budget_s) {
-        std::printf("time budget exhausted after %zu/%zu seeds (%.1fs)\n",
-                    executed, flags.seeds, elapsed);
-        break;
-      }
+    if (flags.time_budget_s > 0.0 &&
+        stopwatch.Seconds() >= flags.time_budget_s) {
+      std::printf("time budget exhausted after %zu/%zu seeds (%.1fs)\n",
+                  executed, flags.seeds, stopwatch.Seconds());
+      break;
     }
     const uint64_t seed = flags.seed_base + i;
     const uint64_t fault_seed = fm::Rng::Fork(seed, 0xFA017);
@@ -312,14 +303,11 @@ int RunFaults(const Flags& flags) {
       }
     }
   }
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
   std::printf(
-      "summary: %zu logs x 4 fault runs = %zu replays in %.1fs, "
+      "summary: %zu logs x 5 fault runs = %zu replays in %.1fs, "
       "%llu faults injected, %llu degraded rejections, %zu poisoned run(s), "
       "%zu failure(s)\n",
-      executed, executed * 4, elapsed,
+      executed, executed * 5, stopwatch.Seconds(),
       static_cast<unsigned long long>(injected_total),
       static_cast<unsigned long long>(degraded_total), poisoned_runs,
       failures);

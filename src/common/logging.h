@@ -1,6 +1,8 @@
 #ifndef FM_COMMON_LOGGING_H_
 #define FM_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -41,12 +43,43 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Per-call-site counter backing FM_LOG_EVERY_N. Thread-safe; also usable
+/// directly as a member when a class wants explicit rate-limit state
+/// (e.g. Service's degraded-mode rejection warnings).
+class LogEveryNState {
+ public:
+  /// Counts one occurrence; true on the 1st, (n+1)th, (2n+1)th, …
+  /// occurrence (every occurrence when n <= 1).
+  bool ShouldLog(uint64_t n) {
+    const uint64_t count = counter_.fetch_add(1, std::memory_order_relaxed);
+    return n <= 1 || count % n == 0;
+  }
+
+  /// Occurrences seen so far (logged + suppressed).
+  uint64_t occurrences() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> counter_{0};
+};
+
 }  // namespace internal
 }  // namespace fm
 
 /// Emits a log record: FM_LOG(kInfo) << "built " << n << " coefficients";
 #define FM_LOG(severity)                                              \
   ::fm::internal::LogMessage(::fm::LogLevel::severity, __FILE__, __LINE__)
+
+/// Rate-limited log record: emits on the 1st and every n-th occurrence of
+/// this call site, so repeating conditions (degraded-mode rejection
+/// floods, per-batch retry warnings) cannot spam the log. Must be used as
+/// a standalone statement:
+///   FM_LOG_EVERY_N(kWarning, 256) << "rejecting mutation: " << reason;
+#define FM_LOG_EVERY_N(severity, n)                                   \
+  if (static ::fm::internal::LogEveryNState fm_log_every_n_state;     \
+      fm_log_every_n_state.ShouldLog(n))                              \
+  FM_LOG(severity)
 
 /// Aborts the process with a message when `condition` is false. Used for
 /// programmer errors (API misuse), never for data-dependent failures — those

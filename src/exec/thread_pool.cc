@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/env_util.h"
+#include "obs/clock.h"
 
 namespace fm::exec {
 
@@ -63,6 +64,7 @@ void ThreadPool::Submit(std::function<void()> task) {
       shard.tasks.push_back(std::move(task));
     }
   }
+  submitted_.Increment();
   shard.cv.notify_one();
 }
 
@@ -84,7 +86,10 @@ void ThreadPool::WorkerLoop(size_t shard_index) {
       task = std::move(shard.tasks.front());
       shard.tasks.pop_front();
     }
+    const int64_t start = obs::MonotonicClock::Default()->NowNanos();
     task();
+    task_nanos_.Observe(obs::MonotonicClock::Default()->NowNanos() - start);
+    completed_.Increment();
   }
 }
 

@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace fm::exec {
 
 /// Fixed-size thread pool with sharded run queues.
@@ -59,6 +61,21 @@ class ThreadPool {
   /// given value clamped to [1, 256].
   static size_t DefaultThreadCount();
 
+  /// Telemetry (observation-only; owned by the pool so readers never
+  /// dangle). Tasks accepted by Submit so far.
+  uint64_t tasks_submitted() const { return submitted_.Value(); }
+  /// Tasks that finished running.
+  uint64_t tasks_completed() const { return completed_.Value(); }
+  /// Tasks submitted but not yet finished (queued or running).
+  uint64_t queue_depth() const {
+    const uint64_t submitted = tasks_submitted();
+    const uint64_t completed = tasks_completed();
+    return submitted > completed ? submitted - completed : 0;
+  }
+  /// Per-task run-time histogram (nanoseconds, wall clock). Mergeable
+  /// into a service registry snapshot via Histogram::CopyFrom.
+  const obs::Histogram& task_nanos() const { return task_nanos_; }
+
  private:
   struct Shard {
     std::mutex mutex;
@@ -72,6 +89,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::atomic<size_t> next_shard_{0};
   std::atomic<bool> stopping_{false};
+  obs::Counter submitted_;
+  obs::Counter completed_;
+  obs::Histogram task_nanos_;
 };
 
 }  // namespace fm::exec

@@ -1,0 +1,69 @@
+#include "obs/span.h"
+
+namespace fm {
+namespace obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    parent_id_ = other.parent_id_;
+    name_ = std::move(other.name_);
+    start_nanos_ = other.start_nanos_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.name = std::move(name_);
+  record.start_nanos = start_nanos_;
+  record.end_nanos = tracer->clock()->NowNanos();
+  tracer->Finish(std::move(record));
+}
+
+Span Tracer::Start(std::string name, uint64_t parent_id) {
+  const int64_t start = clock_->NowNanos();
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+  }
+  return Span(this, id, parent_id, std::move(name), start);
+}
+
+void Tracer::Finish(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (finished_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  finished_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::TakeRecords() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.swap(finished_);
+  return out;
+}
+
+size_t Tracer::buffered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_.size();
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace obs
+}  // namespace fm

@@ -1,0 +1,118 @@
+#ifndef FM_OBS_SPAN_H_
+#define FM_OBS_SPAN_H_
+
+/// \file span.h
+/// Lightweight in-process tracing: a Tracer hands out RAII Spans (with
+/// parent links) whose start/end times come from the injected obs::Clock,
+/// so traces are deterministic under a ManualClock. Finished spans land
+/// in a bounded in-memory buffer drained with TakeRecords(); when the
+/// buffer is full new records are dropped and counted, never blocking
+/// the traced thread. Tracing, like all telemetry, is observation-only.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace fm {
+namespace obs {
+
+/// A completed span as drained from a Tracer.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 for root spans.
+  std::string name;
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+
+  int64_t DurationNanos() const { return end_nanos - start_nanos; }
+};
+
+class Tracer;
+
+/// Move-only RAII handle: the span ends (and its record is committed to
+/// the tracer) on End() or destruction, whichever comes first. A
+/// default-constructed Span is inert.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { End(); }
+
+  /// Commits the span record; no-op on an inert or already-ended span.
+  void End();
+
+  bool active() const { return tracer_ != nullptr; }
+  uint64_t id() const { return id_; }
+  uint64_t parent_id() const { return parent_id_; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, uint64_t id, uint64_t parent_id, std::string name,
+       int64_t start_nanos)
+      : tracer_(tracer),
+        id_(id),
+        parent_id_(parent_id),
+        name_(std::move(name)),
+        start_nanos_(start_nanos) {}
+
+  Tracer* tracer_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  std::string name_;
+  int64_t start_nanos_ = 0;
+};
+
+/// Span factory and bounded record sink. Thread-safe.
+class Tracer {
+ public:
+  /// Default bound on buffered finished spans before dropping.
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(const Clock* clock = nullptr,
+                  size_t capacity = kDefaultCapacity)
+      : clock_(ClockOrDefault(clock)), capacity_(capacity) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a root span.
+  Span StartSpan(std::string name) { return Start(std::move(name), 0); }
+
+  /// Starts a child of `parent` (which must still be active).
+  Span StartChild(const Span& parent, std::string name) {
+    return Start(std::move(name), parent.id());
+  }
+
+  /// Drains and returns all buffered finished spans, in completion order.
+  std::vector<SpanRecord> TakeRecords();
+
+  /// Finished spans currently buffered.
+  size_t buffered() const;
+  /// Spans dropped because the buffer was full.
+  uint64_t dropped() const;
+
+  const Clock* clock() const { return clock_; }
+
+ private:
+  friend class Span;
+  Span Start(std::string name, uint64_t parent_id);
+  void Finish(SpanRecord record);
+
+  const Clock* clock_;
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
+  std::vector<SpanRecord> finished_;
+};
+
+}  // namespace obs
+}  // namespace fm
+
+#endif  // FM_OBS_SPAN_H_

@@ -313,6 +313,9 @@ std::string ReplayKnobs::Name() const {
   if (crash_points > 0) {
     name += ",crashes=" + std::to_string(crash_points);
   }
+  if (!metrics) {
+    name += ",metrics=off";
+  }
   return name;
 }
 
@@ -391,6 +394,7 @@ Result<ReplayObservation> ExecuteReplay(const ServiceOptions& options,
   exec::ThreadPool pool(knobs.threads);
   ServiceOptions run_options = options;
   run_options.pool = &pool;
+  run_options.enable_metrics = knobs.metrics;
 
   DurabilityOptions durability;
   if (durable) {
@@ -568,6 +572,18 @@ std::vector<ReplayKnobs> EnumerateKnobs(const DifferentialOptions& options) {
         k.blocked_linalg = blocked;
         k.batching = BatchingMode::kRandomChunks;
         k.crash_points = options.crash_points;
+        k.schedule_seed = Rng::Fork(options.schedule_seed, run++);
+        knobs.push_back(k);
+      }
+      {
+        // The metrics axis: one metrics-off run per (threads, kernel) pair.
+        // Telemetry must be observation-only, so disabling it must still
+        // reproduce the metrics-on reference byte for byte.
+        ReplayKnobs k;
+        k.threads = threads;
+        k.blocked_linalg = blocked;
+        k.batching = BatchingMode::kRandomChunks;
+        k.metrics = false;
         k.schedule_seed = Rng::Fork(options.schedule_seed, run++);
         knobs.push_back(k);
       }
@@ -883,23 +899,32 @@ Result<FaultDivergence> RunFaultDifferential(const ServiceOptions& options,
   struct RunConfig {
     size_t threads;
     bool blocked;
+    bool metrics;
   };
-  constexpr RunConfig kConfigs[] = {
-      {1, true}, {1, false}, {8, true}, {8, false}};
+  // The fifth run re-checks the reference configuration with telemetry off:
+  // even under injected faults (degraded-mode logging, failure counters)
+  // the metrics switch must not change a single response or state byte.
+  constexpr RunConfig kConfigs[] = {{1, true, true},
+                                    {1, false, true},
+                                    {8, true, true},
+                                    {8, false, true},
+                                    {1, true, false}};
 
   FaultDivergence divergence;
   FaultRunResult reference;
   for (size_t i = 0; i < std::size(kConfigs); ++i) {
     const RunConfig& config = kConfigs[i];
-    const std::string name =
-        "threads=" + std::to_string(config.threads) +
-        ",linalg=" + (config.blocked ? "blocked" : "scalar");
+    std::string name = "threads=" + std::to_string(config.threads) +
+                       ",linalg=" + (config.blocked ? "blocked" : "scalar");
+    if (!config.metrics) name += ",metrics=off";
+    ServiceOptions run_options = options;
+    run_options.enable_metrics = config.metrics;
     // Every run uses the SAME scratch path (runs are sequential; the WAL
     // and snapshots are recreated each run): error messages embed the WAL
     // path, so distinct per-run paths would diverge the response bytes.
     const std::string scratch = scratch_dir + "/run";
     Result<FaultRunResult> run = ExecuteFaultReplay(
-        options, log, config.threads, config.blocked, fault_seed, scratch);
+        run_options, log, config.threads, config.blocked, fault_seed, scratch);
     std::error_code ec;
     std::filesystem::remove_all(scratch, ec);
     FM_RETURN_NOT_OK(run.status());

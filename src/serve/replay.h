@@ -144,6 +144,10 @@ struct ReplayKnobs {
   /// crash cut bytes). Schedule randomness is allowed to vary between
   /// runs precisely because the contract says it must not matter.
   uint64_t schedule_seed = 0;
+  /// The telemetry axis: false runs with ServiceOptions::enable_metrics
+  /// off. Telemetry is observation-only by contract, so a metrics-off run
+  /// must reproduce the (metrics-on) reference byte for byte.
+  bool metrics = true;
 
   std::string Name() const;
 };

@@ -8,11 +8,13 @@
 #include "baselines/no_privacy.h"
 #include "common/io_env.h"
 #include "common/io_util.h"
+#include "common/logging.h"
 #include "core/fm_linear.h"
 #include "core/fm_logistic.h"
 #include "dp/budget.h"
 #include "eval/metrics.h"
 #include "exec/parallel.h"
+#include "exec/thread_pool.h"
 #include "serve/snapshot.h"
 #include "serve/wal.h"
 
@@ -23,7 +25,97 @@ namespace {
 // The planted determinism bug's switch (see Service::SetTestOnlyNondeterminism).
 std::atomic<bool> g_test_only_nondeterminism{false};
 
+// Outcome label classes for the per-kind request counters. Coarser than
+// StatusCode so the catalog stays readable: codes that mean the same thing
+// to an operator share a class.
+constexpr size_t kNumOutcomeClasses = 8;
+
+size_t OutcomeClassIndex(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 1;
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+      return 2;
+    case StatusCode::kFailedPrecondition:
+      return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    case StatusCode::kDegradedReadOnly:
+      return 5;
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+      return 6;
+    default:
+      return 7;  // kNumericalError, kUnimplemented, kInternal
+  }
+}
+
+const char* OutcomeClassName(size_t index) {
+  static const char* const kNames[kNumOutcomeClasses] = {
+      "ok",           "invalid_argument",   "not_found",
+      "failed_precondition", "resource_exhausted", "degraded_read_only",
+      "io_error",     "other"};
+  return kNames[index];
+}
+
 }  // namespace
+
+// All metric objects a running service updates, precomputed at
+// construction so the hot path never takes the registry lock: one
+// enabled-branch plus array indexing by [kind][outcome class]. Gauges are
+// resolved lazily in PollGaugesLocked — polling is cold.
+struct Service::Telemetry {
+  explicit Telemetry(const ServiceOptions& options)
+      : clock(obs::ClockOrDefault(options.clock)) {
+    for (size_t k = 0; k < kNumRequestKinds; ++k) {
+      const std::string kind =
+          RequestKindToString(static_cast<RequestKind>(k));
+      for (size_t c = 0; c < kNumOutcomeClasses; ++c) {
+        outcomes[k][c] = registry.GetCounter(
+            "fm_serve_requests_total{kind=\"" + kind + "\",outcome=\"" +
+            OutcomeClassName(c) + "\"}");
+      }
+      request_nanos[k] =
+          registry.GetHistogram("fm_serve_request_nanos{kind=\"" + kind +
+                                "\"}");
+    }
+    batch_requests = registry.GetHistogram("fm_serve_batch_requests");
+    queue_nanos = registry.GetHistogram("fm_serve_queue_nanos");
+    wal_commit_records = registry.GetHistogram("fm_wal_commit_records");
+    wal_fsync_nanos = registry.GetHistogram("fm_wal_fsync_nanos");
+    wal_syncs = registry.GetCounter("fm_wal_syncs_total");
+    wal_commit_failures = registry.GetCounter("fm_wal_commit_failures_total");
+    snapshot_write_nanos = registry.GetHistogram("fm_snapshot_write_nanos");
+    snapshot_writes = registry.GetCounter("fm_snapshot_writes_total");
+    snapshot_write_failures =
+        registry.GetCounter("fm_snapshot_write_failures_total");
+    pool_task_nanos = registry.GetHistogram("fm_pool_task_nanos");
+    if (options.trace_requests) {
+      tracer = std::make_unique<obs::Tracer>(clock);
+    }
+  }
+
+  obs::MetricsRegistry registry;
+  const obs::Clock* clock;
+  std::unique_ptr<obs::Tracer> tracer;  // non-null iff trace_requests
+
+  obs::Counter* outcomes[kNumRequestKinds][kNumOutcomeClasses];
+  obs::Histogram* request_nanos[kNumRequestKinds];
+  obs::Histogram* batch_requests;
+  obs::Histogram* queue_nanos;
+  obs::Histogram* wal_commit_records;
+  obs::Histogram* wal_fsync_nanos;
+  obs::Counter* wal_syncs;
+  obs::Counter* wal_commit_failures;
+  obs::Histogram* snapshot_write_nanos;
+  obs::Counter* snapshot_writes;
+  obs::Counter* snapshot_write_failures;
+  obs::Histogram* pool_task_nanos;
+};
 
 void Service::SetTestOnlyNondeterminism(bool enabled) {
   g_test_only_nondeterminism.store(enabled, std::memory_order_relaxed);
@@ -41,6 +133,26 @@ const char* ServingModeToString(ServingMode mode) {
       return "degraded-read-only";
     case ServingMode::kPoisoned:
       return "poisoned";
+  }
+  return "?";
+}
+
+const char* RequestKindToString(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kInsert:
+      return "insert";
+    case RequestKind::kDelete:
+      return "delete";
+    case RequestKind::kUpdate:
+      return "update";
+    case RequestKind::kTrain:
+      return "train";
+    case RequestKind::kPredict:
+      return "predict";
+    case RequestKind::kEvaluate:
+      return "evaluate";
+    case RequestKind::kCompact:
+      return "compact";
   }
   return "?";
 }
@@ -113,7 +225,11 @@ Service::Service(const ServiceOptions& options,
     : options_(options),
       objective_(options.dim, core::ObjectiveKindForTask(options.task)),
       accountant_(std::move(accountant)),
-      registry_(options.max_model_history) {}
+      registry_(options.max_model_history) {
+  if (options_.enable_metrics) {
+    telemetry_ = std::make_unique<Telemetry>(options_);
+  }
+}
 
 // Out of line: Wal and DurabilityOptions are incomplete in the header.
 Service::~Service() = default;
@@ -154,8 +270,25 @@ std::vector<Response> Service::ExecuteLog(const std::vector<Request>& log) {
 
 std::vector<Response> Service::ExecuteLogLocked(
     const std::vector<Request>& log, bool append_to_wal) {
+  std::vector<Response> out = ExecuteLogLockedImpl(log, append_to_wal);
+  // The single outcome-recording point: every execution path — the
+  // WAL-commit-failure early return, the degraded read-only path, and the
+  // normal path — returns through here, so each request records exactly
+  // one outcome metric per execution (a client retry is a new execution
+  // and counts again, by design).
+  RecordOutcomesLocked(log, out);
+  return out;
+}
+
+std::vector<Response> Service::ExecuteLogLockedImpl(
+    const std::vector<Request>& log, bool append_to_wal) {
   std::vector<Response> out(log.size());
   const uint64_t base = next_position_.load(std::memory_order_relaxed);
+  obs::Span batch_span;
+  if (telemetry_ != nullptr && telemetry_->tracer != nullptr &&
+      !log.empty()) {
+    batch_span = telemetry_->tracer->StartSpan("execute_log");
+  }
   if (append_to_wal && wal_ != nullptr && !log.empty()) {
     if (serving_mode_.load(std::memory_order_relaxed) !=
         static_cast<int>(ServingMode::kNormal)) {
@@ -177,52 +310,97 @@ std::vector<Response> Service::ExecuteLogLocked(
       return out;
     }
   }
+  // Per-segment wall timing: one clock read per maximal same-kind run (a
+  // serial request is its own run), recorded as `len` per-request
+  // observations at the run's mean cost — so histogram counts match
+  // request counts while the hot path pays O(1) clock reads per run.
+  const bool timing = telemetry_ != nullptr;
+  int64_t segment_start = timing ? telemetry_->clock->NowNanos() : 0;
   size_t i = 0;
   while (i < log.size()) {
     const RequestKind kind = log[i].kind;
+    size_t segment_end = i + 1;
     if (kind == RequestKind::kPredict || kind == RequestKind::kInsert) {
       // Maximal same-kind run: batched execution is response- and
       // state-equivalent to serial execution (see the class comment), so
       // serializability in log order is preserved.
       size_t j = i;
       while (j < log.size() && log[j].kind == kind) ++j;
+      segment_end = j;
+      obs::Span segment_span;
+      if (batch_span.active()) {
+        segment_span = telemetry_->tracer->StartChild(
+            batch_span, RequestKindToString(kind));
+      }
       if (kind == RequestKind::kPredict) {
         RunPredictBatch(log, i, j, out);
       } else {
         RunInsertBatch(log, i, j, out);
       }
-      i = j;
-      continue;
+    } else {
+      obs::Span request_span;
+      if (batch_span.active()) {
+        request_span = telemetry_->tracer->StartChild(
+            batch_span, RequestKindToString(kind));
+      }
+      switch (kind) {
+        case RequestKind::kDelete:
+          out[i] = DoDelete(log[i]);
+          break;
+        case RequestKind::kUpdate:
+          out[i] = DoUpdate(log[i]);
+          break;
+        case RequestKind::kTrain:
+          out[i] = DoTrain(log[i], base + i);
+          break;
+        case RequestKind::kCompact:
+          out[i] = DoCompact();
+          break;
+        case RequestKind::kEvaluate:
+        default:
+          out[i] = DoEvaluate();
+          break;
+      }
     }
-    switch (kind) {
-      case RequestKind::kDelete:
-        out[i] = DoDelete(log[i]);
-        break;
-      case RequestKind::kUpdate:
-        out[i] = DoUpdate(log[i]);
-        break;
-      case RequestKind::kTrain:
-        out[i] = DoTrain(log[i], base + i);
-        break;
-      case RequestKind::kCompact:
-        out[i] = DoCompact();
-        break;
-      case RequestKind::kEvaluate:
-      default:
-        out[i] = DoEvaluate();
-        break;
+    if (timing) {
+      const int64_t now = telemetry_->clock->NowNanos();
+      RecordSegmentLatency(kind, now - segment_start, segment_end - i);
+      segment_start = now;
     }
-    ++i;
+    i = segment_end;
   }
   next_position_.store(base + log.size(), std::memory_order_release);
   MaybeAutoCheckpointLocked();
   return out;
 }
 
+void Service::RecordOutcomesLocked(const std::vector<Request>& log,
+                                   const std::vector<Response>& out) {
+  if (telemetry_ == nullptr || log.empty()) return;
+  telemetry_->batch_requests->Observe(static_cast<int64_t>(log.size()));
+  for (size_t i = 0; i < log.size(); ++i) {
+    const size_t kind = static_cast<size_t>(log[i].kind);
+    const size_t outcome = OutcomeClassIndex(out[i].status.code());
+    telemetry_->outcomes[kind][outcome]->Increment();
+  }
+}
+
+void Service::RecordSegmentLatency(RequestKind kind, int64_t nanos,
+                                   size_t count) {
+  if (telemetry_ == nullptr || count == 0) return;
+  telemetry_->request_nanos[static_cast<size_t>(kind)]->ObserveN(
+      nanos / static_cast<int64_t>(count), count);
+}
+
 uint64_t Service::Enqueue(Request request) {
+  // telemetry_ is immutable after construction, so reading it without the
+  // execution mutex is safe.
+  const int64_t now =
+      telemetry_ != nullptr ? telemetry_->clock->NowNanos() : 0;
   std::lock_guard<std::mutex> lock(queue_mutex_);
   const uint64_t ticket = queue_base_ + queue_.size();
   queue_.push_back(std::move(request));
+  if (telemetry_ != nullptr) queue_enqueue_nanos_.push_back(now);
   return ticket;
 }
 
@@ -234,10 +412,18 @@ std::vector<Response> Service::Drain() {
   // thread holding batch k.
   std::lock_guard<std::mutex> lock(execute_mutex_);
   std::vector<Request> batch;
+  std::vector<int64_t> enqueued_nanos;
   {
     std::lock_guard<std::mutex> queue_lock(queue_mutex_);
     batch.swap(queue_);
+    enqueued_nanos.swap(queue_enqueue_nanos_);
     queue_base_ += batch.size();
+  }
+  if (telemetry_ != nullptr && !enqueued_nanos.empty()) {
+    const int64_t now = telemetry_->clock->NowNanos();
+    for (const int64_t enqueued : enqueued_nanos) {
+      telemetry_->queue_nanos->Observe(now - enqueued);
+    }
   }
   return ExecuteLogLocked(batch, /*append_to_wal=*/true);
 }
@@ -248,10 +434,17 @@ void Service::EnterFaultModeLocked(const Status& cause) {
                                ? ServingMode::kPoisoned
                                : ServingMode::kDegradedReadOnly;
   serving_mode_.store(static_cast<int>(mode), std::memory_order_release);
+  FM_LOG(kError) << "service degrading to " << ServingModeToString(mode)
+                 << ": " << degrade_reason_;
 }
 
 Response Service::DegradedRejectionLocked() {
   degraded_rejections_.fetch_add(1, std::memory_order_relaxed);
+  // Rate-limited: a client hammering a degraded service floods this path.
+  FM_LOG_EVERY_N(kWarning, 256)
+      << "rejecting mutating request (service is "
+      << ServingModeToString(serving_mode()) << "; " << degraded_rejections()
+      << " rejections so far): " << degrade_reason_;
   const bool poisoned = serving_mode_.load(std::memory_order_relaxed) ==
                         static_cast<int>(ServingMode::kPoisoned);
   Response r;
@@ -322,6 +515,8 @@ Status Service::TryResume() {
   serving_mode_.store(static_cast<int>(ServingMode::kNormal),
                       std::memory_order_release);
   degrade_reason_.clear();
+  FM_LOG(kInfo) << "service resumed from read-only degradation (volume "
+                   "accepts writes again)";
   return Status::OK();
 }
 
@@ -602,9 +797,21 @@ Status Service::EnableDurability(const DurabilityOptions& durability) {
         "the log) — durability needs a snapshot_dir for the base "
         "checkpoint");
   }
+  // Default the WAL's time seam to the service's clock so one injected
+  // clock drives every timestamp. Runtime wiring only, like `env`.
+  DurabilityOptions resolved = durability;
+  if (resolved.wal.clock == nullptr) resolved.wal.clock = options_.clock;
   options_fingerprint_ = OptionsFingerprint(options_);
-  FM_ASSIGN_OR_RETURN(wal_, Wal::Open(durability.wal, options_fingerprint_));
-  durability_ = std::make_unique<DurabilityOptions>(durability);
+  FM_ASSIGN_OR_RETURN(wal_, Wal::Open(resolved.wal, options_fingerprint_));
+  if (telemetry_ != nullptr) {
+    WalTelemetry sink;
+    sink.commit_batch_records = telemetry_->wal_commit_records;
+    sink.fsync_nanos = telemetry_->wal_fsync_nanos;
+    sink.syncs = telemetry_->wal_syncs;
+    sink.commit_failures = telemetry_->wal_commit_failures;
+    wal_->set_telemetry(sink);
+  }
+  durability_ = std::make_unique<DurabilityOptions>(resolved);
   last_checkpoint_position_ = next_position_.load(std::memory_order_relaxed);
   if (!durability_->snapshot_dir.empty()) {
     // Base checkpoint: captures whatever exists now (typically Bootstrap
@@ -623,6 +830,9 @@ Result<std::unique_ptr<Service>> Service::Recover(
     const ServiceOptions& options, const DurabilityOptions& durability) {
   FM_ASSIGN_OR_RETURN(std::unique_ptr<Service> service, Create(options));
   service->options_fingerprint_ = OptionsFingerprint(options);
+  const obs::Clock* recovery_clock = obs::ClockOrDefault(options.clock);
+  const int64_t recovery_start = recovery_clock->NowNanos();
+  uint64_t replayed_records = 0;
 
   // 1. Newest valid snapshot, if checkpoints were taken. Corrupt or torn
   //    snapshot files are skipped inside LoadLatestSnapshot.
@@ -665,6 +875,7 @@ Result<std::unique_ptr<Service>> Service::Recover(
       tail.push_back(record.request);
     }
     if (!tail.empty()) {
+      replayed_records = tail.size();
       service->ExecuteLogLocked(tail, /*append_to_wal=*/false);
     }
   } else if (replay.status().code() != StatusCode::kNotFound) {
@@ -675,10 +886,28 @@ Result<std::unique_ptr<Service>> Service::Recover(
 
   // 3. Attach the WAL for appending; Open truncates any torn tail so new
   //    records land on a record boundary.
+  DurabilityOptions resolved = durability;
+  if (resolved.wal.clock == nullptr) resolved.wal.clock = options.clock;
   FM_ASSIGN_OR_RETURN(service->wal_,
-                      Wal::Open(durability.wal, service->options_fingerprint_));
-  service->durability_ = std::make_unique<DurabilityOptions>(durability);
+                      Wal::Open(resolved.wal, service->options_fingerprint_));
+  if (service->telemetry_ != nullptr) {
+    WalTelemetry sink;
+    sink.commit_batch_records = service->telemetry_->wal_commit_records;
+    sink.fsync_nanos = service->telemetry_->wal_fsync_nanos;
+    sink.syncs = service->telemetry_->wal_syncs;
+    sink.commit_failures = service->telemetry_->wal_commit_failures;
+    service->wal_->set_telemetry(sink);
+  }
+  service->durability_ = std::make_unique<DurabilityOptions>(resolved);
   service->last_checkpoint_position_ = snapshot_position;
+  if (service->telemetry_ != nullptr) {
+    obs::MetricsRegistry& reg = service->telemetry_->registry;
+    reg.GetGauge("fm_recovery_nanos")
+        ->Set(static_cast<double>(recovery_clock->NowNanos() -
+                                  recovery_start));
+    reg.GetGauge("fm_recovery_replayed_records")
+        ->Set(static_cast<double>(replayed_records));
+  }
   return service;
 }
 
@@ -692,19 +921,31 @@ Status Service::CheckpointLocked() {
     return Status::FailedPrecondition(
         "checkpoints need durability enabled with a snapshot_dir");
   }
-  const uint64_t position = next_position_.load(std::memory_order_relaxed);
-  const std::string payload = EncodeSnapshot(
-      objective_, *accountant_, registry_, position,
-      compaction_count_.load(std::memory_order_relaxed));
-  FM_RETURN_NOT_OK(WriteSnapshotFile(
-      durability_->snapshot_dir, position, options_fingerprint_, payload,
-      /*sync=*/durability_->wal.sync != WalSyncMode::kNone,
-      durability_->wal.env));
-  FM_RETURN_NOT_OK(PruneSnapshots(durability_->snapshot_dir,
-                                  durability_->snapshot_keep,
-                                  durability_->wal.env));
-  last_checkpoint_position_ = position;
-  return Status::OK();
+  const int64_t start =
+      telemetry_ != nullptr ? telemetry_->clock->NowNanos() : 0;
+  const Status written = [&]() -> Status {
+    const uint64_t position = next_position_.load(std::memory_order_relaxed);
+    const std::string payload = EncodeSnapshot(
+        objective_, *accountant_, registry_, position,
+        compaction_count_.load(std::memory_order_relaxed));
+    FM_RETURN_NOT_OK(WriteSnapshotFile(
+        durability_->snapshot_dir, position, options_fingerprint_, payload,
+        /*sync=*/durability_->wal.sync != WalSyncMode::kNone,
+        durability_->wal.env));
+    FM_RETURN_NOT_OK(PruneSnapshots(durability_->snapshot_dir,
+                                    durability_->snapshot_keep,
+                                    durability_->wal.env));
+    last_checkpoint_position_ = position;
+    return Status::OK();
+  }();
+  if (telemetry_ != nullptr) {
+    telemetry_->snapshot_write_nanos->Observe(telemetry_->clock->NowNanos() -
+                                              start);
+    (written.ok() ? telemetry_->snapshot_writes
+                  : telemetry_->snapshot_write_failures)
+        ->Increment();
+  }
+  return written;
 }
 
 void Service::MaybeAutoCheckpointLocked() {
@@ -716,9 +957,98 @@ void Service::MaybeAutoCheckpointLocked() {
   if (position - last_checkpoint_position_ >= durability_->snapshot_every) {
     // Best effort: a failed auto-checkpoint must not fail the batch that
     // triggered it — the WAL already holds every record, so recovery just
-    // replays a longer tail.
-    (void)CheckpointLocked();
+    // replays a longer tail. Previously swallowed silently; now it at
+    // least leaves a (rate-limited) trace for operators.
+    const Status checkpointed = CheckpointLocked();
+    if (!checkpointed.ok()) {
+      FM_LOG_EVERY_N(kWarning, 16)
+          << "auto-checkpoint at log position " << position
+          << " failed (recovery will replay a longer WAL tail): "
+          << checkpointed.ToString();
+    }
   }
+}
+
+void Service::PollGaugesLocked() {
+  if (telemetry_ == nullptr) return;
+  obs::MetricsRegistry& reg = telemetry_->registry;
+  const auto set = [&reg](const char* name, double value) {
+    reg.GetGauge(name)->Set(value);
+  };
+  set("fm_budget_epsilon_total", accountant_->total_epsilon());
+  set("fm_budget_epsilon_spent", accountant_->spent_epsilon());
+  set("fm_budget_epsilon_reserved", accountant_->reserved_epsilon());
+  set("fm_budget_epsilon_remaining", accountant_->remaining_epsilon());
+  set("fm_budget_pending_reservations",
+      static_cast<double>(accountant_->pending_reservations()));
+  set("fm_store_live_tuples", static_cast<double>(objective_.live_size()));
+  set("fm_store_slot_count", static_cast<double>(objective_.slot_count()));
+  set("fm_store_dead_slots", static_cast<double>(objective_.dead_count()));
+  set("fm_store_shards", static_cast<double>(objective_.num_shards()));
+  set("fm_store_live_shards", static_cast<double>(objective_.live_shards()));
+  set("fm_store_materializations",
+      static_cast<double>(objective_.materialize_count()));
+  set("fm_serve_log_position", static_cast<double>(log_position()));
+  set("fm_serve_compactions", static_cast<double>(compaction_count()));
+  set("fm_serve_model_version",
+      static_cast<double>(registry_.latest_version()));
+  set("fm_serve_models_retained", static_cast<double>(registry_.size()));
+  set("fm_serve_serving_mode",
+      static_cast<double>(serving_mode_.load(std::memory_order_acquire)));
+  set("fm_serve_degraded_rejections",
+      static_cast<double>(degraded_rejections()));
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    set("fm_serve_queue_depth", static_cast<double>(queue_.size()));
+  }
+  exec::ThreadPool& p = pool();
+  set("fm_pool_threads", static_cast<double>(p.num_threads()));
+  set("fm_pool_queue_depth", static_cast<double>(p.queue_depth()));
+  set("fm_pool_tasks_submitted", static_cast<double>(p.tasks_submitted()));
+  set("fm_pool_tasks_completed", static_cast<double>(p.tasks_completed()));
+  telemetry_->pool_task_nanos->CopyFrom(p.task_nanos());
+  // The fault-cleanliness keys exist with or without durability, so the
+  // run_bench.py healthy-run gate can always assert they are zero.
+  if (wal_ != nullptr) {
+    set("fm_wal_appended_records",
+        static_cast<double>(wal_->appended_records()));
+    set("fm_wal_commit_batches", static_cast<double>(wal_->commit_batches()));
+    set("fm_wal_sync_count", static_cast<double>(wal_->sync_count()));
+    set("fm_wal_file_bytes", static_cast<double>(wal_->file_bytes()));
+    set("fm_wal_sync_mode",
+        static_cast<double>(static_cast<int>(wal_->options().sync)));
+    set("fm_wal_poisoned", wal_->poisoned() ? 1.0 : 0.0);
+    set("fm_wal_transient_retries",
+        static_cast<double>(wal_->retry_stats().transient_retries));
+    set("fm_wal_short_writes",
+        static_cast<double>(wal_->retry_stats().short_writes));
+  } else {
+    set("fm_wal_poisoned", 0.0);
+    set("fm_wal_transient_retries", 0.0);
+    set("fm_wal_short_writes", 0.0);
+  }
+}
+
+std::string Service::MetricsSnapshot() {
+  if (telemetry_ == nullptr) return "{}";
+  std::lock_guard<std::mutex> lock(execute_mutex_);
+  PollGaugesLocked();
+  return telemetry_->registry.ExportJson();
+}
+
+std::string Service::DumpMetrics() {
+  if (telemetry_ == nullptr) return "";
+  std::lock_guard<std::mutex> lock(execute_mutex_);
+  PollGaugesLocked();
+  return telemetry_->registry.ExportPrometheus();
+}
+
+obs::MetricsRegistry* Service::metrics() {
+  return telemetry_ != nullptr ? &telemetry_->registry : nullptr;
+}
+
+obs::Tracer* Service::tracer() {
+  return telemetry_ != nullptr ? telemetry_->tracer.get() : nullptr;
 }
 
 }  // namespace fm::serve

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -14,6 +15,9 @@
 #include "data/dataset.h"
 #include "data/normalizer.h"
 #include "linalg/vector.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/budget_accountant.h"
 #include "serve/incremental_objective.h"
 #include "serve/model_registry.h"
@@ -53,6 +57,12 @@ enum class RequestKind {
   kEvaluate,
   kCompact,
 };
+
+/// Number of RequestKind values (metric tables index by kind).
+inline constexpr size_t kNumRequestKinds = 7;
+
+/// Lower-case label for metrics/traces: "insert", "predict", …
+const char* RequestKindToString(RequestKind kind);
 
 /// One request in the service's log. Use the factory helpers; unused fields
 /// are ignored by the engine.
@@ -129,6 +139,21 @@ struct ServiceOptions {
   bool auto_compact = true;
   double compaction_dead_ratio = 1.0;
   size_t compaction_min_dead = core::kObjectiveShardRows;
+  /// Telemetry master switch. Telemetry is observation-only by contract:
+  /// responses, WAL bytes, snapshots, and recovery are byte-identical with
+  /// metrics on or off (the fuzz_determinism metrics axis proves it), so
+  /// this flag — like `pool` — is excluded from OptionsFingerprint and the
+  /// replay repro-artifact codec. See docs/OBSERVABILITY.md.
+  bool enable_metrics = true;
+  /// Per-request span tracing into Service::tracer(). Requires
+  /// enable_metrics; off by default because spans allocate per record
+  /// where metric updates are a single relaxed atomic add.
+  bool trace_requests = false;
+  /// Time seam for every telemetry timestamp (latency histograms, span
+  /// start/end, WAL batch windows); nullptr →
+  /// obs::MonotonicClock::Default(). Runtime wiring only — wall time never
+  /// feeds request execution.
+  const obs::Clock* clock = nullptr;
 };
 
 /// The online DP-regression service: a request engine over the incremental
@@ -269,6 +294,20 @@ class Service {
   const ModelRegistry& registry() const { return registry_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// Polls every gauge (budget ledger, store occupancy, WAL, pool, queue)
+  /// and returns the full registry as one JSON object. "{}" when metrics
+  /// are disabled. Thread-safe (serializes on the execution mutex).
+  std::string MetricsSnapshot();
+  /// Same poll, exported in Prometheus text format. "" when disabled.
+  std::string DumpMetrics();
+  /// The service's metric registry, or nullptr when metrics are disabled.
+  /// Counters/histograms update live; gauges are only as fresh as the last
+  /// MetricsSnapshot()/DumpMetrics() poll.
+  obs::MetricsRegistry* metrics();
+  /// The per-request tracer, or nullptr unless
+  /// `enable_metrics && trace_requests`. Drain with Tracer::TakeRecords.
+  obs::Tracer* tracer();
+
   /// Test-only: plants a deliberate determinism bug (the train RNG stream
   /// picks up the pool size, so responses depend on FM_THREADS). Exists so
   /// the differential fuzz harness (serve/replay.h, fuzz_determinism
@@ -285,8 +324,20 @@ class Service {
 
   // The real engine; requires execute_mutex_. `append_to_wal` is false
   // only during Recover's replay — those records are already in the log.
+  // Every execution path funnels through here, and the wrapper records
+  // exactly one outcome metric per request — the WAL-commit-failure early
+  // return, the degraded read-only path, and the normal path included.
   std::vector<Response> ExecuteLogLocked(const std::vector<Request>& log,
                                          bool append_to_wal);
+  std::vector<Response> ExecuteLogLockedImpl(const std::vector<Request>& log,
+                                             bool append_to_wal);
+
+  // Telemetry plumbing (all no-ops when telemetry_ is null). Definitions
+  // live with struct Telemetry in service.cc.
+  void RecordOutcomesLocked(const std::vector<Request>& log,
+                            const std::vector<Response>& out);
+  void RecordSegmentLatency(RequestKind kind, int64_t nanos, size_t count);
+  void PollGaugesLocked();
 
   // Checkpoint body; requires execute_mutex_ and enabled durability.
   Status CheckpointLocked();
@@ -346,8 +397,16 @@ class Service {
   std::atomic<uint64_t> degraded_rejections_{0};
   std::string degrade_reason_;  // guarded by execute_mutex_
 
+  // Telemetry (null when options_.enable_metrics is false). Immutable
+  // pointer after construction, so hot paths test it without a lock.
+  struct Telemetry;
+  std::unique_ptr<Telemetry> telemetry_;
+
   std::mutex queue_mutex_;
   std::vector<Request> queue_;
+  // Parallel to queue_ when telemetry is on: Enqueue timestamps, so Drain
+  // can observe per-request queue wait. Guarded by queue_mutex_.
+  std::vector<int64_t> queue_enqueue_nanos_;
   uint64_t queue_base_ = 0;
 };
 

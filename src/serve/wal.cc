@@ -1,12 +1,12 @@
 #include "serve/wal.h"
 
-#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <utility>
 
 #include "common/io_env.h"
 #include "common/io_util.h"
+#include "common/logging.h"
 
 namespace fm::serve {
 
@@ -18,12 +18,6 @@ constexpr uint32_t kFormatVersion = 1;
 constexpr uint64_t kHeaderBytes = 8 + 4 + 4 + 8;
 // u32 payload_len + u32 crc + u64 position.
 constexpr uint64_t kRecordHeaderBytes = 4 + 4 + 8;
-
-double MonotonicSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 std::string EncodeHeader(uint64_t fingerprint) {
   std::string out;
@@ -110,8 +104,11 @@ Status DecodeRequestPayload(const std::string& payload, Request* out) {
 
 uint64_t OptionsFingerprint(const ServiceOptions& options) {
   // FNV-1a over the fields that give the durable state its meaning. Pool
-  // choice and model-history length are deliberately excluded: they affect
-  // performance and retention, not the log's semantics.
+  // choice, model-history length, and the telemetry fields (enable_metrics,
+  // trace_requests, clock) are deliberately excluded: they affect
+  // performance, retention, and observation — never the log's semantics —
+  // so a WAL written with metrics on recovers under a service with metrics
+  // off, and vice versa (docs/OBSERVABILITY.md).
   uint64_t hash = 0xcbf29ce484222325ull;
   const auto mix = [&hash](uint64_t value) {
     for (int i = 0; i < 8; ++i) {
@@ -220,7 +217,8 @@ Wal::Wal(const WalOptions& options, std::unique_ptr<io::File> file,
     : options_(options),
       file_(std::move(file)),
       file_bytes_(file_bytes),
-      last_sync_seconds_(MonotonicSeconds()) {}
+      clock_(obs::ClockOrDefault(options.clock)),
+      last_sync_nanos_(clock_->NowNanos()) {}
 
 Wal::~Wal() = default;
 
@@ -301,6 +299,13 @@ Status Wal::Commit() {
         written.code() != StatusCode::kResourceExhausted) {
       poisoned_ = true;
     }
+    if (telemetry_.commit_failures != nullptr) {
+      telemetry_.commit_failures->Increment();
+    }
+    if (poisoned_) {
+      FM_LOG(kError) << "WAL " << options_.path
+                     << " poisoned by failed write: " << written.message();
+    }
     return Status(written.code(),
                   "WAL write failed for " + options_.path + ": " +
                       written.message() +
@@ -315,15 +320,20 @@ Status Wal::Commit() {
       sync_now = true;
       break;
     case WalSyncMode::kBatch: {
-      const double now = MonotonicSeconds();
+      const int64_t now = clock_->NowNanos();
+      const double window_nanos = options_.batch_window_seconds * 1e9;
       sync_now = records_since_sync_ + batch_records >=
                      options_.batch_max_records ||
-                 now - last_sync_seconds_ >= options_.batch_window_seconds;
+                 static_cast<double>(now - last_sync_nanos_) >= window_nanos;
       break;
     }
   }
   if (sync_now) {
+    const int64_t sync_start = clock_->NowNanos();
     const Status synced = file_->Sync();
+    if (telemetry_.fsync_nanos != nullptr) {
+      telemetry_.fsync_nanos->Observe(clock_->NowNanos() - sync_start);
+    }
     if (!synced.ok()) {
       // fsyncgate: a failed fsync may have DROPPED the dirty pages, and a
       // retried fsync that then "succeeds" proves nothing about them. The
@@ -333,13 +343,19 @@ Status Wal::Commit() {
       // writes. Earlier batches synced in previous windows are unaffected.
       poisoned_ = true;
       (void)file_->Truncate(file_bytes_);
+      if (telemetry_.commit_failures != nullptr) {
+        telemetry_.commit_failures->Increment();
+      }
+      FM_LOG(kError) << "WAL " << options_.path
+                     << " poisoned by failed fsync: " << synced.message();
       return Status::IoError(
           "WAL fsync failed for " + options_.path + ": " + synced.message() +
           " — WAL poisoned; the batch is rejected and never retried");
     }
     ++sync_count_;
+    if (telemetry_.syncs != nullptr) telemetry_.syncs->Increment();
     records_since_sync_ = 0;
-    last_sync_seconds_ = MonotonicSeconds();
+    last_sync_nanos_ = clock_->NowNanos();
   } else {
     records_since_sync_ += batch_records;
   }
@@ -347,24 +363,35 @@ Status Wal::Commit() {
   file_bytes_ += batch_bytes;
   appended_records_ += batch_records;
   ++commit_batches_;
+  if (telemetry_.commit_batch_records != nullptr) {
+    telemetry_.commit_batch_records->Observe(
+        static_cast<int64_t>(batch_records));
+  }
   return Status::OK();
 }
 
 Status Wal::Sync() {
   if (poisoned_) return PoisonedStatus();
+  const int64_t sync_start = clock_->NowNanos();
   const Status synced = file_->Sync();
+  if (telemetry_.fsync_nanos != nullptr) {
+    telemetry_.fsync_nanos->Observe(clock_->NowNanos() - sync_start);
+  }
   if (!synced.ok()) {
     // Same fsyncgate rule as Commit: never retry a failed fsync. There is
     // no in-flight batch to roll back here; committed-but-unsynced records
     // from earlier kNone/kBatch windows have unknowable durability, which
     // is exactly why the WAL must stop acknowledging.
     poisoned_ = true;
+    FM_LOG(kError) << "WAL " << options_.path
+                   << " poisoned by failed fsync: " << synced.message();
     return Status::IoError("WAL fsync failed for " + options_.path + ": " +
                            synced.message() + " — WAL poisoned");
   }
   ++sync_count_;
+  if (telemetry_.syncs != nullptr) telemetry_.syncs->Increment();
   records_since_sync_ = 0;
-  last_sync_seconds_ = MonotonicSeconds();
+  last_sync_nanos_ = clock_->NowNanos();
   return Status::OK();
 }
 

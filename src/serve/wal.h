@@ -10,6 +10,8 @@
 #include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 
 namespace fm::serve {
@@ -42,6 +44,21 @@ struct WalOptions {
   /// (fault injection in tests/fuzzing) — not part of the options
   /// fingerprint, so a log written through one env recovers through any.
   io::Env* env = nullptr;
+  /// Time seam for the kBatch sync window and fsync-latency telemetry;
+  /// nullptr → obs::MonotonicClock::Default(). Runtime wiring only, like
+  /// `env` — never fingerprinted, and wall time never feeds record bytes.
+  const obs::Clock* clock = nullptr;
+};
+
+/// Observation-only metric sinks a Wal owner may attach (Service wires
+/// these into its registry). Every pointer is optional; the pointed-to
+/// metrics must outlive the Wal. Attaching telemetry must not change any
+/// byte the Wal writes — that is the determinism contract's metrics axis.
+struct WalTelemetry {
+  obs::Histogram* commit_batch_records = nullptr;  ///< records per commit
+  obs::Histogram* fsync_nanos = nullptr;           ///< per-fsync latency
+  obs::Counter* syncs = nullptr;                   ///< fsyncs issued
+  obs::Counter* commit_failures = nullptr;         ///< failed commit batches
 };
 
 /// Everything Service::EnableDurability / Service::Recover need: where the
@@ -161,6 +178,10 @@ class Wal {
   /// all-zero on a healthy volume (the bench_serve no-fault gate).
   const io::RetryStats& retry_stats() const { return retry_stats_; }
 
+  /// Attaches metric sinks (see WalTelemetry). Not thread-safe; call
+  /// before the Wal is shared, alongside Open.
+  void set_telemetry(const WalTelemetry& telemetry) { telemetry_ = telemetry; }
+
   const WalOptions& options() const { return options_; }
   uint64_t appended_records() const { return appended_records_; }
   uint64_t commit_batches() const { return commit_batches_; }
@@ -194,9 +215,11 @@ class Wal {
   uint64_t commit_batches_ = 0;
   uint64_t sync_count_ = 0;
   size_t records_since_sync_ = 0;
-  double last_sync_seconds_ = 0.0;  // monotonic clock, seconds
+  const obs::Clock* clock_;        // resolved from options_.clock
+  int64_t last_sync_nanos_ = 0;    // on clock_'s timeline
   bool poisoned_ = false;
   io::RetryStats retry_stats_;
+  WalTelemetry telemetry_;
 };
 
 }  // namespace fm::serve

@@ -20,11 +20,13 @@
 //    slot space O(live) under randomized insert/delete/update churn.
 //  - Every baseline trainer rejects invalid ε uniformly (the
 //    dp::ValidateEpsilon audit).
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +42,9 @@
 #include "core/objective_accumulator.h"
 #include "eval/metrics.h"
 #include "exec/thread_pool.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "opt/logistic_loss.h"
 #include "serve/budget_accountant.h"
 #include "serve/incremental_objective.h"
@@ -1071,6 +1076,146 @@ TEST(Service, RacingDrainsSerializeAndCountersStayReadable) {
   EXPECT_EQ(drained.load(), kInserts);
   EXPECT_EQ(service->log_position(), kInserts);
   EXPECT_EQ(service->objective().live_size(), kInserts);
+}
+
+TEST(Service, MixedWorkloadPopulatesPerKindMetrics) {
+  const auto initial = MakeDataset(1500, 5, false, 53);
+  const auto extra = MakeDataset(48, 5, false, 59);
+  const auto log = MixedLog(extra, 25);
+
+  serve::ServiceOptions options;
+  options.dim = 5;
+  options.total_epsilon = 4.0;
+  auto service = serve::Service::Create(options).ValueOrDie();
+  ASSERT_TRUE(service->Bootstrap(initial).ok());
+  const auto responses = service->ExecuteLog(log);
+  ASSERT_EQ(responses.size(), log.size());
+
+  obs::MetricsRegistry* metrics = service->metrics();
+  ASSERT_NE(metrics, nullptr);
+
+  // Per-kind ok counters match the workload shape (every MixedLog request
+  // succeeds against a bootstrapped store with a fresh ε budget).
+  const auto ok_count = [&](const char* kind) {
+    const obs::Counter* counter = metrics->FindCounter(
+        std::string("fm_serve_requests_total{kind=\"") + kind +
+        "\",outcome=\"ok\"}");
+    return counter == nullptr ? uint64_t{0} : counter->Value();
+  };
+  EXPECT_EQ(ok_count("insert"), extra.size());
+  EXPECT_EQ(ok_count("delete"), 1u);
+  EXPECT_EQ(ok_count("predict"), 25u);
+  EXPECT_EQ(ok_count("train"), 3u);
+  EXPECT_EQ(ok_count("evaluate"), 1u);
+
+  // The exactly-one-outcome invariant: every executed request recorded one
+  // outcome, so the counters total the log size.
+  constexpr const char* kKinds[] = {"insert",  "delete",   "update",
+                                    "train",   "predict",  "evaluate",
+                                    "compact"};
+  constexpr const char* kOutcomes[] = {
+      "ok",       "invalid_argument",   "not_found",
+      "failed_precondition",            "resource_exhausted",
+      "degraded_read_only", "io_error", "other"};
+  uint64_t outcome_total = 0;
+  for (const char* kind : kKinds) {
+    for (const char* outcome : kOutcomes) {
+      const obs::Counter* counter = metrics->FindCounter(
+          std::string("fm_serve_requests_total{kind=\"") + kind +
+          "\",outcome=\"" + outcome + "\"}");
+      ASSERT_NE(counter, nullptr) << kind << "/" << outcome;
+      outcome_total += counter->Value();
+    }
+  }
+  EXPECT_EQ(outcome_total, log.size());
+
+  // Latency histograms count one observation per request of their kind.
+  const obs::Histogram* predict_nanos =
+      metrics->FindHistogram("fm_serve_request_nanos{kind=\"predict\"}");
+  ASSERT_NE(predict_nanos, nullptr);
+  EXPECT_EQ(predict_nanos->Count(), 25u);
+  EXPECT_GE(predict_nanos->Sum(), 0);
+
+  // Both stats surfaces render, and the polled gauges reflect the store.
+  const std::string json = service->MetricsSnapshot();
+  EXPECT_NE(json.find("\"fm_store_live_tuples\":"), std::string::npos);
+  EXPECT_NE(json.find("\"fm_budget_epsilon_spent\":"), std::string::npos);
+  EXPECT_NE(json.find("\"fm_serve_log_position\":"), std::string::npos);
+  const std::string prometheus = service->DumpMetrics();
+  EXPECT_NE(prometheus.find("# TYPE fm_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prometheus.find("fm_serve_log_position"), std::string::npos);
+}
+
+TEST(Service, MetricsSwitchNeverChangesResponseBytes) {
+  // The observation-only contract in unit-test form (the fuzz harness's
+  // metrics axis proves it at scale): enable_metrics on vs off produces
+  // bit-identical responses for the same log.
+  const auto initial = MakeDataset(1200, 4, false, 61);
+  const auto extra = MakeDataset(32, 4, false, 67);
+  const auto log = MixedLog(extra, 20);
+
+  auto run = [&](bool enable_metrics) {
+    serve::ServiceOptions options;
+    options.dim = 4;
+    options.seed = 0xabcdef01;
+    options.enable_metrics = enable_metrics;
+    auto service = serve::Service::Create(options).ValueOrDie();
+    EXPECT_TRUE(service->Bootstrap(initial).ok());
+    auto responses = service->ExecuteLog(log);
+    if (!enable_metrics) {
+      EXPECT_EQ(service->metrics(), nullptr);
+      EXPECT_EQ(service->MetricsSnapshot(), "{}");
+      EXPECT_EQ(service->DumpMetrics(), "");
+    }
+    return responses;
+  };
+
+  const auto with = run(true);
+  const auto without = run(false);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].status, without[i].status) << "request " << i;
+    EXPECT_EQ(with[i].id, without[i].id) << "request " << i;
+    EXPECT_EQ(UlpDistance(with[i].value, without[i].value), 0u)
+        << "request " << i;
+    EXPECT_EQ(with[i].model_version, without[i].model_version);
+    EXPECT_EQ(with[i].epsilon_spent, without[i].epsilon_spent);
+  }
+}
+
+TEST(Service, TracingRecordsSpansPerBatchUnderManualClock) {
+  obs::ManualClock clock;
+  serve::ServiceOptions options;
+  options.dim = 2;
+  options.trace_requests = true;
+  options.clock = &clock;
+  auto service = serve::Service::Create(options).ValueOrDie();
+  obs::Tracer* tracer = service->tracer();
+  ASSERT_NE(tracer, nullptr);
+
+  std::vector<serve::Request> log;
+  for (int i = 0; i < 3; ++i) {
+    linalg::Vector x(2);
+    x[0] = 0.1;
+    log.push_back(serve::Request::Insert(std::move(x), 0.5));
+  }
+  log.push_back(serve::Request::Evaluate());
+  service->ExecuteLog(log);
+
+  const auto records = tracer->TakeRecords();
+  // One root execute_log span, one child for the insert run, one child for
+  // the evaluate — children link to the root.
+  ASSERT_EQ(records.size(), 3u);
+  const auto root = std::find_if(
+      records.begin(), records.end(),
+      [](const obs::SpanRecord& r) { return r.name == "execute_log"; });
+  ASSERT_NE(root, records.end());
+  EXPECT_EQ(root->parent_id, 0u);
+  for (const auto& record : records) {
+    if (record.id == root->id) continue;
+    EXPECT_EQ(record.parent_id, root->id) << record.name;
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -30,7 +30,10 @@ at n >= 1e5, or (2) the churn workload's post-compaction store not O(live)
 run within 1.5x of a fresh store holding the same live tuples
 (bench_serve itself exits non-zero if the compacted store is not bitwise
 equal to that fresh store, so the perf gate can never pass on a wrong
-store).
+store), or (3) the telemetry surface is broken — the report must carry a
+``metrics`` snapshot (docs/OBSERVABILITY.md) and its fault-cleanliness
+gauges (WAL transient retries / short writes / poisoning, degraded-mode
+rejections) must all read zero on the healthy benchmark volume.
 """
 
 import argparse
@@ -210,6 +213,38 @@ def run_serve_mode(args):
             raise SystemExit(1)
         print("gate passed: fault counters clean (0 retries, 0 degraded "
               "rejections, WAL not poisoned)")
+
+        # Telemetry surface (docs/OBSERVABILITY.md): the report must embed
+        # the durable run's metrics snapshot — a missing/empty object means
+        # Service::MetricsSnapshot() broke — and the snapshot's own
+        # fault-cleanliness gauges must agree with the healthy-volume
+        # counters above. These gauges are exported whether or not the run
+        # was durable, precisely so this assertion can never be skipped.
+        metrics = report.get("metrics")
+        if not isinstance(metrics, dict) or "gauges" not in metrics:
+            print("GATE FAILURE: BENCH_serve.json has no metrics snapshot "
+                  "(expected a 'metrics' object with a 'gauges' map)",
+                  file=sys.stderr)
+            raise SystemExit(1)
+        gauges = metrics["gauges"]
+        clean_keys = ("fm_wal_transient_retries", "fm_wal_short_writes",
+                      "fm_wal_poisoned", "fm_serve_degraded_rejections")
+        missing = [k for k in clean_keys if k not in gauges]
+        if missing:
+            print(f"GATE FAILURE: metrics snapshot is missing "
+                  f"fault-cleanliness gauges: {', '.join(missing)}",
+                  file=sys.stderr)
+            raise SystemExit(1)
+        dirty = {k: gauges[k] for k in clean_keys if gauges[k] != 0}
+        if dirty:
+            print(f"GATE FAILURE: fault-cleanliness gauges nonzero on a "
+                  f"healthy volume: {dirty}", file=sys.stderr)
+            raise SystemExit(1)
+        overhead = report.get("metrics_overhead_durable_ratio")
+        churn_overhead = report.get("metrics_overhead_churn_ratio")
+        print(f"gate passed: metrics snapshot present, fault-cleanliness "
+              f"gauges all zero (telemetry overhead: durable "
+              f"{overhead:.3f}x, churn {churn_overhead:.3f}x off/on)")
 
 
 def main():
