@@ -72,28 +72,28 @@ FaultInjectingEnv::FaultInjectingEnv(Env& base, const FaultProfile& profile)
     : base_(base), profile_(profile) {}
 
 void FaultInjectingEnv::set_armed(bool armed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   armed_ = armed;
 }
 
 bool FaultInjectingEnv::armed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return armed_;
 }
 
 FaultCounts FaultInjectingEnv::counts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counts_;
 }
 
-bool FaultInjectingEnv::Roll(double p, uint64_t n) {
+bool FaultInjectingEnv::RollLocked(double p, uint64_t n) {
   if (!armed_ || p <= 0.0) return false;
   Rng rng(Rng::Fork(profile_.seed, n));
   return rng.Bernoulli(p);
 }
 
 FaultInjectingEnv::WriteFault FaultInjectingEnv::DecideWrite() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t n = counts_.ops++;
   if (!armed_) return WriteFault::kNone;
   if (n < space_returns_at_op_) {
@@ -139,46 +139,46 @@ FaultInjectingEnv::WriteFault FaultInjectingEnv::DecideWrite() {
 }
 
 bool FaultInjectingEnv::DecideSync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t n = counts_.ops++;
   consecutive_transients_ = 0;
-  if (!Roll(profile_.sync_error, n)) return false;
+  if (!RollLocked(profile_.sync_error, n)) return false;
   ++counts_.total;
   ++counts_.sync_error;
   return true;
 }
 
 bool FaultInjectingEnv::DecideOpen() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t n = counts_.ops++;
-  if (!Roll(profile_.open_error, n)) return false;
+  if (!RollLocked(profile_.open_error, n)) return false;
   ++counts_.total;
   ++counts_.open_error;
   return true;
 }
 
 bool FaultInjectingEnv::DecideRead() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t n = counts_.ops++;
-  if (!Roll(profile_.read_error, n)) return false;
+  if (!RollLocked(profile_.read_error, n)) return false;
   ++counts_.total;
   ++counts_.read_error;
   return true;
 }
 
 bool FaultInjectingEnv::DecideRename() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t n = counts_.ops++;
-  if (!Roll(profile_.rename_error, n)) return false;
+  if (!RollLocked(profile_.rename_error, n)) return false;
   ++counts_.total;
   ++counts_.rename_error;
   return true;
 }
 
 bool FaultInjectingEnv::DecideTruncate() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t n = counts_.ops++;
-  if (!Roll(profile_.truncate_error, n)) return false;
+  if (!RollLocked(profile_.truncate_error, n)) return false;
   ++counts_.total;
   ++counts_.truncate_error;
   return true;

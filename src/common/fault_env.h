@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/io_env.h"
+#include "common/thread_annotations.h"
 
 namespace fm::io {
 
@@ -107,17 +107,16 @@ class FaultInjectingEnv final : public Env {
   bool DecideTruncate();
 
   // Rolls a Bernoulli(p) for op ordinal `n`; no fault while disarmed.
-  bool Roll(double p, uint64_t n);
-  uint64_t NextOp();
+  bool RollLocked(double p, uint64_t n) FM_REQUIRES(mutex_);
 
   Env& base_;
   const FaultProfile profile_;
-  mutable std::mutex mutex_;
-  bool armed_ = false;
-  FaultCounts counts_;
+  mutable Mutex mutex_;
+  bool armed_ FM_GUARDED_BY(mutex_) = false;
+  FaultCounts counts_ FM_GUARDED_BY(mutex_);
   /// Writes before this op ordinal fail ENOSPC (0 = volume has space).
-  uint64_t space_returns_at_op_ = 0;
-  int consecutive_transients_ = 0;
+  uint64_t space_returns_at_op_ FM_GUARDED_BY(mutex_) = 0;
+  int consecutive_transients_ FM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace fm::io

@@ -258,12 +258,16 @@ Status WriteFileAtomic(Env& env, const std::string& path,
   if (st.ok()) {
     st = file->Close();
   } else {
+    // discard-ok: already on an error path; the write/sync error is the
+    // root cause and must not be masked by a close failure.
     (void)file->Close();
   }
   if (st.ok()) st = env.RenameFile(tmp, path);
   if (!st.ok()) {
     // Failure-path hygiene: never leak the tmp file (the snapshot pruner
     // only collects committed names; see PruneSnapshots).
+    // discard-ok: cleanup of the uncommitted tmp file; the rename/write
+    // error below is the status the caller needs.
     (void)env.RemoveFileIfExists(tmp);
     return st;
   }

@@ -15,8 +15,11 @@ namespace fm {
 /// Either holds a `T` (and an OK status) or a non-OK `Status`. Accessing the
 /// value of an errored result aborts the process; call `ok()` first or use
 /// `FM_ASSIGN_OR_RETURN`.
+///
+/// [[nodiscard]] like Status: a dropped Result is a dropped error (and a
+/// dropped value). See tools/fm_lint.py, rule fm-discarded-status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT

@@ -138,7 +138,8 @@ uint64_t Rng::Fork() { return Next() ^ 0xA5A5A5A55A5A5A5Aull; }
 
 uint64_t Rng::Fork(uint64_t seed, uint64_t task_id) {
   uint64_t s = seed ^ (task_id * 0xD1B54A32D192ED03ull + 0x8BB84B93962EACC9ull);
-  (void)SplitMix64(s);  // advance once: decorrelates from DeriveSeed's family
+  // discard-ok: advance once: decorrelates from DeriveSeed's family.
+  (void)SplitMix64(s);
   return SplitMix64(s);
 }
 

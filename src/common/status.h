@@ -47,7 +47,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 ///   fm::Status s = DoWork();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// Class-level [[nodiscard]]: ignoring a returned Status silently drops an
+/// error, so every discard is a compile error (-Werror). Deliberate
+/// discards are written `(void)Expr();` with a `// discard-ok:` rationale —
+/// tools/fm_lint.py (rule fm-discarded-status) enforces the comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -2,14 +2,13 @@
 #define FM_EXEC_PARALLEL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 
 namespace fm::exec {
@@ -54,31 +53,40 @@ void ParallelFor(size_t n, Fn&& fn, ThreadPool& pool = ThreadPool::Global()) {
 
   const size_t num_tasks = std::min(n, pool.num_threads());
   struct Sync {
-    std::mutex mutex;
-    std::condition_variable cv;
-    size_t remaining;
+    Mutex mutex;
+    CondVar cv;
+    size_t remaining FM_GUARDED_BY(mutex) = 0;
+    // No guard: each task writes only its own index slots, and the
+    // remaining-counter handshake above publishes them to the waiter.
     std::vector<std::exception_ptr> errors;  // slot per index
   };
   auto sync = std::make_shared<Sync>();
-  sync->remaining = num_tasks;
+  {
+    MutexLock lock(sync->mutex);
+    sync->remaining = num_tasks;
+  }
   sync->errors.resize(n);
 
   for (size_t t = 0; t < num_tasks; ++t) {
     pool.Submit([&fn, sync, t, n, num_tasks] {
+      Sync& s = *sync;
       for (size_t i = t; i < n; i += num_tasks) {
         try {
           fn(i);
         } catch (...) {
-          sync->errors[i] = std::current_exception();
+          s.errors[i] = std::current_exception();
         }
       }
-      std::lock_guard<std::mutex> lock(sync->mutex);
-      if (--sync->remaining == 0) sync->cv.notify_all();
+      MutexLock lock(s.mutex);
+      if (--s.remaining == 0) s.cv.NotifyAll();
     });
   }
 
-  std::unique_lock<std::mutex> lock(sync->mutex);
-  sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+  {
+    Sync& s = *sync;
+    MutexLock lock(s.mutex);
+    while (s.remaining != 0) s.cv.Wait(s.mutex);
+  }
   for (size_t i = 0; i < n; ++i) {
     if (sync->errors[i]) std::rethrow_exception(sync->errors[i]);
   }

@@ -34,8 +34,8 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() {
   stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->cv.notify_all();
+    MutexLock lock(shard->mutex);
+    shard->cv.NotifyAll();
   }
   for (auto& worker : workers_) {
     worker.join();
@@ -57,7 +57,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   Shard& shard = *shards_[index];
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (to_front) {
       shard.tasks.push_front(std::move(task));
     } else {
@@ -65,7 +65,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     }
   }
   submitted_.Increment();
-  shard.cv.notify_one();
+  shard.cv.NotifyOne();
 }
 
 bool ThreadPool::InWorkerThread() { return tls_worker.pool != nullptr; }
@@ -77,11 +77,11 @@ void ThreadPool::WorkerLoop(size_t shard_index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(shard.mutex);
-      shard.cv.wait(lock, [&] {
-        return !shard.tasks.empty() ||
-               stopping_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(shard.mutex);
+      while (shard.tasks.empty() &&
+             !stopping_.load(std::memory_order_acquire)) {
+        shard.cv.Wait(shard.mutex);
+      }
       if (shard.tasks.empty()) return;  // stopping and drained
       task = std::move(shard.tasks.front());
       shard.tasks.pop_front();

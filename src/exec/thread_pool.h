@@ -2,15 +2,14 @@
 #define FM_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace fm::exec {
@@ -78,9 +77,9 @@ class ThreadPool {
 
  private:
   struct Shard {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    CondVar cv;
+    std::deque<std::function<void()>> tasks FM_GUARDED_BY(mutex);
   };
 
   void WorkerLoop(size_t shard_index);

@@ -184,41 +184,41 @@ void MaybeEmitType(const std::string& base, const char* type,
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (!slot) slot.reset(new Counter());
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (!slot) slot.reset(new Gauge());
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (!slot) slot.reset(new Histogram());
   return slot.get();
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricsRegistry::FindHistogram(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -229,7 +229,7 @@ std::string MetricsRegistry::Export(MetricsFormat format) const {
 }
 
 std::string MetricsRegistry::ExportPrometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   std::string base, labels, last_base;
   for (const auto& entry : counters_) {
@@ -287,7 +287,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
 }
 
 std::string MetricsRegistry::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& entry : counters_) {

@@ -33,14 +33,14 @@ Span Tracer::Start(std::string name, uint64_t parent_id) {
   const int64_t start = clock_->NowNanos();
   uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     id = next_id_++;
   }
   return Span(this, id, parent_id, std::move(name), start);
 }
 
 void Tracer::Finish(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (finished_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -49,19 +49,19 @@ void Tracer::Finish(SpanRecord record) {
 }
 
 std::vector<SpanRecord> Tracer::TakeRecords() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<SpanRecord> out;
   out.swap(finished_);
   return out;
 }
 
 size_t Tracer::buffered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return finished_.size();
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 

@@ -10,11 +10,11 @@
 /// the traced thread. Tracing, like all telemetry, is observation-only.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 
 namespace fm {
@@ -106,10 +106,10 @@ class Tracer {
 
   const Clock* clock_;
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  uint64_t next_id_ = 1;
-  uint64_t dropped_ = 0;
-  std::vector<SpanRecord> finished_;
+  mutable Mutex mutex_;
+  uint64_t next_id_ FM_GUARDED_BY(mutex_) = 1;
+  uint64_t dropped_ FM_GUARDED_BY(mutex_) = 0;
+  std::vector<SpanRecord> finished_ FM_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

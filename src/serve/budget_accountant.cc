@@ -36,7 +36,7 @@ Result<std::unique_ptr<BudgetAccountant>> BudgetAccountant::Create(
 Result<uint64_t> BudgetAccountant::Reserve(double epsilon,
                                            const std::string& label) {
   FM_RETURN_NOT_OK(dp::ValidateEpsilon(epsilon));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const double remaining = total_epsilon_ - spent_epsilon_ - reserved_epsilon_;
   if (epsilon > remaining + kSlack) {
     return Status::FailedPrecondition(
@@ -51,7 +51,7 @@ Result<uint64_t> BudgetAccountant::Reserve(double epsilon,
 
 Status BudgetAccountant::Commit(uint64_t reservation, double actual_epsilon) {
   FM_RETURN_NOT_OK(dp::ValidateEpsilon(actual_epsilon));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = pending_.find(reservation);
   if (it == pending_.end()) {
     return Status::NotFound("unknown or already-settled reservation " +
@@ -71,7 +71,7 @@ Status BudgetAccountant::Commit(uint64_t reservation, double actual_epsilon) {
 }
 
 Status BudgetAccountant::Settle(uint64_t reservation, double actual_epsilon) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = pending_.find(reservation);
   if (it == pending_.end()) {
     return Status::NotFound("unknown or already-settled reservation " +
@@ -95,7 +95,7 @@ Status BudgetAccountant::Settle(uint64_t reservation, double actual_epsilon) {
 }
 
 Status BudgetAccountant::Abort(uint64_t reservation) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = pending_.find(reservation);
   if (it == pending_.end()) {
     return Status::NotFound("unknown or already-settled reservation " +
@@ -107,38 +107,38 @@ Status BudgetAccountant::Abort(uint64_t reservation) {
 }
 
 double BudgetAccountant::total_epsilon() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_epsilon_;
 }
 
 double BudgetAccountant::spent_epsilon() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return spent_epsilon_;
 }
 
 double BudgetAccountant::reserved_epsilon() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return reserved_epsilon_;
 }
 
 double BudgetAccountant::remaining_epsilon() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_epsilon_ - spent_epsilon_ - reserved_epsilon_;
 }
 
 std::vector<BudgetAccountant::ChargeRecord> BudgetAccountant::charges()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return charges_;
 }
 
 size_t BudgetAccountant::pending_reservations() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_.size();
 }
 
 void BudgetAccountant::SerializeTo(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   FM_CHECK(pending_.empty());  // checkpoints run at request boundaries
   io::AppendDouble(out, total_epsilon_);
   io::AppendDouble(out, spent_epsilon_);
@@ -151,7 +151,7 @@ void BudgetAccountant::SerializeTo(std::string* out) const {
 }
 
 Status BudgetAccountant::RestoreFrom(io::ByteReader& reader) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double total = 0.0;
   double spent = 0.0;
   uint64_t next_reservation = 0;

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace fm::serve {
 
@@ -117,13 +117,15 @@ class BudgetAccountant {
     std::string label;
   };
 
-  mutable std::mutex mutex_;
-  double total_epsilon_;
-  double spent_epsilon_ = 0.0;
-  double reserved_epsilon_ = 0.0;
-  uint64_t next_reservation_ = 1;
-  std::unordered_map<uint64_t, Pending> pending_;
-  std::vector<ChargeRecord> charges_;
+  mutable Mutex mutex_;
+  double total_epsilon_ FM_GUARDED_BY(mutex_);
+  double spent_epsilon_ FM_GUARDED_BY(mutex_) = 0.0;
+  double reserved_epsilon_ FM_GUARDED_BY(mutex_) = 0.0;
+  uint64_t next_reservation_ FM_GUARDED_BY(mutex_) = 1;
+  // Accessed by find/emplace/erase only, never iterated — iteration order
+  // of an unordered container must not reach any output (fm-unordered-iter).
+  std::unordered_map<uint64_t, Pending> pending_ FM_GUARDED_BY(mutex_);
+  std::vector<ChargeRecord> charges_ FM_GUARDED_BY(mutex_);
 };
 
 }  // namespace fm::serve

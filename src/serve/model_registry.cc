@@ -10,7 +10,7 @@ ModelRegistry::ModelRegistry(size_t max_history)
     : max_history_(std::max<size_t>(1, max_history)) {}
 
 uint64_t ModelRegistry::Publish(ModelSnapshot snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   snapshot.version = next_version_++;
   const uint64_t version = snapshot.version;
   history_.push_back(
@@ -20,13 +20,13 @@ uint64_t ModelRegistry::Publish(ModelSnapshot snapshot) {
 }
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::Latest() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.empty() ? nullptr : history_.back();
 }
 
 Result<std::shared_ptr<const ModelSnapshot>> ModelRegistry::Get(
     uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& snapshot : history_) {
     if (snapshot->version == version) return snapshot;
   }
@@ -35,17 +35,17 @@ Result<std::shared_ptr<const ModelSnapshot>> ModelRegistry::Get(
 }
 
 uint64_t ModelRegistry::latest_version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return next_version_ - 1;
 }
 
 size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.size();
 }
 
 void ModelRegistry::SerializeTo(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   io::AppendU64(out, next_version_);
   io::AppendU64(out, history_.size());
   for (const auto& snapshot : history_) {
@@ -63,7 +63,7 @@ void ModelRegistry::SerializeTo(std::string* out) const {
 }
 
 Status ModelRegistry::RestoreFrom(io::ByteReader& reader) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t next_version = 0;
   uint64_t count = 0;
   FM_RETURN_NOT_OK(reader.ReadU64(&next_version));

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/io_util.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "data/normalizer.h"
 #include "linalg/vector.h"
 
@@ -72,10 +72,11 @@ class ModelRegistry {
   Status RestoreFrom(io::ByteReader& reader);
 
  private:
-  mutable std::mutex mutex_;
-  size_t max_history_;
-  uint64_t next_version_ = 1;
-  std::deque<std::shared_ptr<const ModelSnapshot>> history_;
+  mutable Mutex mutex_;
+  const size_t max_history_;  // immutable after construction; no guard
+  uint64_t next_version_ FM_GUARDED_BY(mutex_) = 1;
+  std::deque<std::shared_ptr<const ModelSnapshot>> history_
+      FM_GUARDED_BY(mutex_);
 };
 
 }  // namespace fm::serve

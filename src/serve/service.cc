@@ -223,9 +223,9 @@ Request Request::Compact() {
 Service::Service(const ServiceOptions& options,
                  std::unique_ptr<BudgetAccountant> accountant)
     : options_(options),
-      objective_(options.dim, core::ObjectiveKindForTask(options.task)),
       accountant_(std::move(accountant)),
-      registry_(options.max_model_history) {
+      registry_(options.max_model_history),
+      objective_(options.dim, core::ObjectiveKindForTask(options.task)) {
   if (options_.enable_metrics) {
     telemetry_ = std::make_unique<Telemetry>(options_);
   }
@@ -258,19 +258,19 @@ exec::ThreadPool& Service::pool() const {
 }
 
 Status Service::Bootstrap(const data::RegressionDataset& initial) {
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   if (initial.size() == 0) return Status::OK();
   return objective_.InsertBatch(initial, &pool()).status();
 }
 
 std::vector<Response> Service::ExecuteLog(const std::vector<Request>& log) {
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   return ExecuteLogLocked(log, /*append_to_wal=*/true);
 }
 
 std::vector<Response> Service::ExecuteLogLocked(
     const std::vector<Request>& log, bool append_to_wal) {
-  std::vector<Response> out = ExecuteLogLockedImpl(log, append_to_wal);
+  std::vector<Response> out = ExecuteLogImplLocked(log, append_to_wal);
   // The single outcome-recording point: every execution path — the
   // WAL-commit-failure early return, the degraded read-only path, and the
   // normal path — returns through here, so each request records exactly
@@ -280,7 +280,7 @@ std::vector<Response> Service::ExecuteLogLocked(
   return out;
 }
 
-std::vector<Response> Service::ExecuteLogLockedImpl(
+std::vector<Response> Service::ExecuteLogImplLocked(
     const std::vector<Request>& log, bool append_to_wal) {
   std::vector<Response> out(log.size());
   const uint64_t base = next_position_.load(std::memory_order_relaxed);
@@ -335,7 +335,7 @@ std::vector<Response> Service::ExecuteLogLockedImpl(
       if (kind == RequestKind::kPredict) {
         RunPredictBatch(log, i, j, out);
       } else {
-        RunInsertBatch(log, i, j, out);
+        RunInsertBatchLocked(log, i, j, out);
       }
     } else {
       obs::Span request_span;
@@ -345,20 +345,20 @@ std::vector<Response> Service::ExecuteLogLockedImpl(
       }
       switch (kind) {
         case RequestKind::kDelete:
-          out[i] = DoDelete(log[i]);
+          out[i] = DoDeleteLocked(log[i]);
           break;
         case RequestKind::kUpdate:
-          out[i] = DoUpdate(log[i]);
+          out[i] = DoUpdateLocked(log[i]);
           break;
         case RequestKind::kTrain:
-          out[i] = DoTrain(log[i], base + i);
+          out[i] = DoTrainLocked(log[i], base + i);
           break;
         case RequestKind::kCompact:
-          out[i] = DoCompact();
+          out[i] = DoCompactLocked();
           break;
         case RequestKind::kEvaluate:
         default:
-          out[i] = DoEvaluate();
+          out[i] = DoEvaluateLocked();
           break;
       }
     }
@@ -397,7 +397,7 @@ uint64_t Service::Enqueue(Request request) {
   // execution mutex is safe.
   const int64_t now =
       telemetry_ != nullptr ? telemetry_->clock->NowNanos() : 0;
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(queue_mutex_);
   const uint64_t ticket = queue_base_ + queue_.size();
   queue_.push_back(std::move(request));
   if (telemetry_ != nullptr) queue_enqueue_nanos_.push_back(now);
@@ -410,11 +410,11 @@ std::vector<Response> Service::Drain() {
   // the other, in ticket order — with the swap outside the mutex a thread
   // could claim batch k+1 and execute it before (or interleaved with) the
   // thread holding batch k.
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   std::vector<Request> batch;
   std::vector<int64_t> enqueued_nanos;
   {
-    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    MutexLock queue_lock(queue_mutex_);
     batch.swap(queue_);
     enqueued_nanos.swap(queue_enqueue_nanos_);
     queue_base_ += batch.size();
@@ -476,7 +476,7 @@ std::vector<Response> Service::ExecuteReadOnlyLocked(
       continue;
     }
     if (log[i].kind == RequestKind::kEvaluate) {
-      out[i] = DoEvaluate();
+      out[i] = DoEvaluateLocked();
     } else {
       out[i] = DegradedRejectionLocked();
     }
@@ -486,7 +486,7 @@ std::vector<Response> Service::ExecuteReadOnlyLocked(
 }
 
 Status Service::TryResume() {
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   if (wal_ == nullptr) {
     return Status::FailedPrecondition(
         "TryResume needs durability enabled — a non-durable service never "
@@ -520,7 +520,7 @@ Status Service::TryResume() {
   return Status::OK();
 }
 
-Response Service::DoInsert(const Request& request) {
+Response Service::DoInsertLocked(const Request& request) {
   Response r;
   const Result<TupleId> id = objective_.Insert(request.x, request.y);
   if (!id.ok()) {
@@ -531,11 +531,11 @@ Response Service::DoInsert(const Request& request) {
   return r;
 }
 
-void Service::RunInsertBatch(const std::vector<Request>& log, size_t begin,
+void Service::RunInsertBatchLocked(const std::vector<Request>& log, size_t begin,
                              size_t end, std::vector<Response>& out) {
   const size_t count = end - begin;
   if (count == 1) {
-    out[begin] = DoInsert(log[begin]);
+    out[begin] = DoInsertLocked(log[begin]);
     return;
   }
   // Hot path: assemble the run into one dataset and bulk-accumulate its
@@ -562,18 +562,18 @@ void Service::RunInsertBatch(const std::vector<Request>& log, size_t begin,
       return;
     }
   }
-  for (size_t i = begin; i < end; ++i) out[i] = DoInsert(log[i]);
+  for (size_t i = begin; i < end; ++i) out[i] = DoInsertLocked(log[i]);
 }
 
-Response Service::DoDelete(const Request& request) {
+Response Service::DoDeleteLocked(const Request& request) {
   Response r;
   r.status = objective_.Delete(request.id);
   r.id = request.id;
-  if (r.status.ok()) MaybeAutoCompact();
+  if (r.status.ok()) MaybeAutoCompactLocked();
   return r;
 }
 
-Response Service::DoUpdate(const Request& request) {
+Response Service::DoUpdateLocked(const Request& request) {
   Response r;
   r.status = objective_.Update(request.id, request.x.raw(), request.x.size(),
                                request.y);
@@ -581,7 +581,7 @@ Response Service::DoUpdate(const Request& request) {
   return r;
 }
 
-Response Service::DoCompact() {
+Response Service::DoCompactLocked() {
   Response r;
   const size_t reclaimed = objective_.Compact(&pool());
   if (reclaimed > 0) ++compaction_count_;
@@ -589,7 +589,7 @@ Response Service::DoCompact() {
   return r;
 }
 
-void Service::MaybeAutoCompact() {
+void Service::MaybeAutoCompactLocked() {
   if (!options_.auto_compact) return;
   const size_t dead = objective_.dead_count();
   if (dead < options_.compaction_min_dead) return;
@@ -629,7 +629,7 @@ Result<baselines::TrainedModel> TrainWith(
 
 }  // namespace
 
-Response Service::DoTrain(const Request& request, uint64_t position) {
+Response Service::DoTrainLocked(const Request& request, uint64_t position) {
   Response r;
   if (objective_.live_size() == 0) {
     r.status = Status::FailedPrecondition("cannot train on an empty store");
@@ -748,7 +748,7 @@ void Service::RunPredictBatch(const std::vector<Request>& log, size_t begin,
   }
 }
 
-Response Service::DoEvaluate() {
+Response Service::DoEvaluateLocked() {
   Response r;
   const std::shared_ptr<const ModelSnapshot> snapshot = registry_.Latest();
   if (snapshot == nullptr) {
@@ -767,14 +767,18 @@ Response Service::DoEvaluate() {
   // bit-identical to materializing first — without the O(n · d) copy an
   // evaluate request used to allocate.
   r.model_version = snapshot->version;
+  // Bound to a local reference: the lock analysis does not see through
+  // lambda captures, and the callee invokes the visitor synchronously on
+  // this thread, so the lock stays held for every ForEachLive access.
+  const IncrementalObjective& objective = objective_;
   r.value = eval::TaskErrorStreaming(
-      options_.task, snapshot->omega, objective_.live_size(),
-      [this](auto&& visit) { objective_.ForEachLive(visit); });
+      options_.task, snapshot->omega, objective.live_size(),
+      [&objective](auto&& visit) { objective.ForEachLive(visit); });
   return r;
 }
 
 Status Service::EnableDurability(const DurabilityOptions& durability) {
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   if (wal_ != nullptr) {
     return Status::FailedPrecondition("durability is already enabled");
   }
@@ -829,7 +833,15 @@ Status Service::EnableDurability(const DurabilityOptions& durability) {
 Result<std::unique_ptr<Service>> Service::Recover(
     const ServiceOptions& options, const DurabilityOptions& durability) {
   FM_ASSIGN_OR_RETURN(std::unique_ptr<Service> service, Create(options));
-  service->options_fingerprint_ = OptionsFingerprint(options);
+  // The service is private to this function until it returns, but restore
+  // and replay write execute_mutex_-guarded state (the store, the WAL
+  // attachment), so hold the lock for real — the annotations then prove
+  // the same discipline here as on the serving path. Lock via a raw
+  // pointer: the analysis matches capabilities by base expression, and
+  // `svc->` keeps every access below on the same base.
+  Service* svc = service.get();
+  MutexLock lock(svc->execute_mutex_);
+  svc->options_fingerprint_ = OptionsFingerprint(options);
   const obs::Clock* recovery_clock = obs::ClockOrDefault(options.clock);
   const int64_t recovery_start = recovery_clock->NowNanos();
   uint64_t replayed_records = 0;
@@ -839,17 +851,17 @@ Result<std::unique_ptr<Service>> Service::Recover(
   uint64_t snapshot_position = 0;
   if (!durability.snapshot_dir.empty()) {
     Result<SnapshotContents> snapshot = LoadLatestSnapshot(
-        durability.snapshot_dir, service->options_fingerprint_,
+        durability.snapshot_dir, svc->options_fingerprint_,
         durability.wal.env);
     if (snapshot.ok()) {
       const SnapshotContents& contents = snapshot.ValueOrDie();
       FM_RETURN_NOT_OK(DecodeSnapshotComponents(
-          contents.components, &service->objective_,
-          service->accountant_.get(), &service->registry_));
-      service->next_position_.store(contents.next_position,
-                                    std::memory_order_relaxed);
-      service->compaction_count_.store(contents.compaction_count,
-                                       std::memory_order_relaxed);
+          contents.components, &svc->objective_,
+          svc->accountant_.get(), &svc->registry_));
+      svc->next_position_.store(contents.next_position,
+                                std::memory_order_relaxed);
+      svc->compaction_count_.store(contents.compaction_count,
+                                   std::memory_order_relaxed);
       snapshot_position = contents.next_position;
     } else if (snapshot.status().code() != StatusCode::kNotFound) {
       return snapshot.status();
@@ -860,7 +872,7 @@ Result<std::unique_ptr<Service>> Service::Recover(
   //    through the ordinary execution path. Recovery = replay: state after
   //    this loop is a pure function of (snapshot, tail), bitwise.
   const Result<WalReplay> replay =
-      Wal::ReadAll(durability.wal.path, service->options_fingerprint_,
+      Wal::ReadAll(durability.wal.path, svc->options_fingerprint_,
                    durability.wal.env);
   if (replay.ok()) {
     std::vector<Request> tail;
@@ -876,7 +888,7 @@ Result<std::unique_ptr<Service>> Service::Recover(
     }
     if (!tail.empty()) {
       replayed_records = tail.size();
-      service->ExecuteLogLocked(tail, /*append_to_wal=*/false);
+      svc->ExecuteLogLocked(tail, /*append_to_wal=*/false);
     }
   } else if (replay.status().code() != StatusCode::kNotFound) {
     // A missing WAL with a valid snapshot is fine (the log can be rotated
@@ -888,20 +900,20 @@ Result<std::unique_ptr<Service>> Service::Recover(
   //    records land on a record boundary.
   DurabilityOptions resolved = durability;
   if (resolved.wal.clock == nullptr) resolved.wal.clock = options.clock;
-  FM_ASSIGN_OR_RETURN(service->wal_,
-                      Wal::Open(resolved.wal, service->options_fingerprint_));
-  if (service->telemetry_ != nullptr) {
+  FM_ASSIGN_OR_RETURN(svc->wal_,
+                      Wal::Open(resolved.wal, svc->options_fingerprint_));
+  if (svc->telemetry_ != nullptr) {
     WalTelemetry sink;
-    sink.commit_batch_records = service->telemetry_->wal_commit_records;
-    sink.fsync_nanos = service->telemetry_->wal_fsync_nanos;
-    sink.syncs = service->telemetry_->wal_syncs;
-    sink.commit_failures = service->telemetry_->wal_commit_failures;
-    service->wal_->set_telemetry(sink);
+    sink.commit_batch_records = svc->telemetry_->wal_commit_records;
+    sink.fsync_nanos = svc->telemetry_->wal_fsync_nanos;
+    sink.syncs = svc->telemetry_->wal_syncs;
+    sink.commit_failures = svc->telemetry_->wal_commit_failures;
+    svc->wal_->set_telemetry(sink);
   }
-  service->durability_ = std::make_unique<DurabilityOptions>(resolved);
-  service->last_checkpoint_position_ = snapshot_position;
-  if (service->telemetry_ != nullptr) {
-    obs::MetricsRegistry& reg = service->telemetry_->registry;
+  svc->durability_ = std::make_unique<DurabilityOptions>(resolved);
+  svc->last_checkpoint_position_ = snapshot_position;
+  if (svc->telemetry_ != nullptr) {
+    obs::MetricsRegistry& reg = svc->telemetry_->registry;
     reg.GetGauge("fm_recovery_nanos")
         ->Set(static_cast<double>(recovery_clock->NowNanos() -
                                   recovery_start));
@@ -912,7 +924,7 @@ Result<std::unique_ptr<Service>> Service::Recover(
 }
 
 Status Service::Checkpoint() {
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   return CheckpointLocked();
 }
 
@@ -923,21 +935,10 @@ Status Service::CheckpointLocked() {
   }
   const int64_t start =
       telemetry_ != nullptr ? telemetry_->clock->NowNanos() : 0;
-  const Status written = [&]() -> Status {
-    const uint64_t position = next_position_.load(std::memory_order_relaxed);
-    const std::string payload = EncodeSnapshot(
-        objective_, *accountant_, registry_, position,
-        compaction_count_.load(std::memory_order_relaxed));
-    FM_RETURN_NOT_OK(WriteSnapshotFile(
-        durability_->snapshot_dir, position, options_fingerprint_, payload,
-        /*sync=*/durability_->wal.sync != WalSyncMode::kNone,
-        durability_->wal.env));
-    FM_RETURN_NOT_OK(PruneSnapshots(durability_->snapshot_dir,
-                                    durability_->snapshot_keep,
-                                    durability_->wal.env));
-    last_checkpoint_position_ = position;
-    return Status::OK();
-  }();
+  // Out-of-line body (not a lambda): the thread-safety analysis does not
+  // propagate held locks into lambda bodies, and every member below is
+  // execute_mutex_-guarded.
+  const Status written = WriteSnapshotLocked();
   if (telemetry_ != nullptr) {
     telemetry_->snapshot_write_nanos->Observe(telemetry_->clock->NowNanos() -
                                               start);
@@ -946,6 +947,22 @@ Status Service::CheckpointLocked() {
         ->Increment();
   }
   return written;
+}
+
+Status Service::WriteSnapshotLocked() {
+  const uint64_t position = next_position_.load(std::memory_order_relaxed);
+  const std::string payload = EncodeSnapshot(
+      objective_, *accountant_, registry_, position,
+      compaction_count_.load(std::memory_order_relaxed));
+  FM_RETURN_NOT_OK(WriteSnapshotFile(
+      durability_->snapshot_dir, position, options_fingerprint_, payload,
+      /*sync=*/durability_->wal.sync != WalSyncMode::kNone,
+      durability_->wal.env));
+  FM_RETURN_NOT_OK(PruneSnapshots(durability_->snapshot_dir,
+                                  durability_->snapshot_keep,
+                                  durability_->wal.env));
+  last_checkpoint_position_ = position;
+  return Status::OK();
 }
 
 void Service::MaybeAutoCheckpointLocked() {
@@ -998,7 +1015,7 @@ void Service::PollGaugesLocked() {
   set("fm_serve_degraded_rejections",
       static_cast<double>(degraded_rejections()));
   {
-    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    MutexLock queue_lock(queue_mutex_);
     set("fm_serve_queue_depth", static_cast<double>(queue_.size()));
   }
   exec::ThreadPool& p = pool();
@@ -1031,14 +1048,14 @@ void Service::PollGaugesLocked() {
 
 std::string Service::MetricsSnapshot() {
   if (telemetry_ == nullptr) return "{}";
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   PollGaugesLocked();
   return telemetry_->registry.ExportJson();
 }
 
 std::string Service::DumpMetrics() {
   if (telemetry_ == nullptr) return "";
-  std::lock_guard<std::mutex> lock(execute_mutex_);
+  MutexLock lock(execute_mutex_);
   PollGaugesLocked();
   return telemetry_->registry.ExportPrometheus();
 }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/functional_mechanism.h"
@@ -229,7 +229,12 @@ class Service {
   Status Checkpoint();
 
   /// The attached WAL, or nullptr when durability is off (stats/tests).
-  const Wal* wal() const { return wal_.get(); }
+  /// Analysis opt-out (documented benign): hands out an unsynchronized
+  /// reference to an execute_mutex_-guarded pointer. Safe because wal_ only
+  /// transitions nullptr→set once (EnableDurability/Recover), callers are
+  /// tests/stats readers that sequence after that setup, and the Wal stats
+  /// they read are plain counters.
+  const Wal* wal() const FM_NO_THREAD_SAFETY_ANALYSIS { return wal_.get(); }
 
   /// Current degradation state (docs/FAULTS.md). Safe to read concurrently.
   ServingMode serving_mode() const {
@@ -289,7 +294,14 @@ class Service {
     return compaction_count_.load(std::memory_order_acquire);
   }
 
-  const IncrementalObjective& objective() const { return objective_; }
+  /// Analysis opt-out (documented benign): returns a reference to the
+  /// execute_mutex_-guarded store without the lock. Kept for tests and
+  /// stats displays that read it quiescently (no concurrent ExecuteLog);
+  /// the store's own accessors are const and allocation-free.
+  const IncrementalObjective& objective() const
+      FM_NO_THREAD_SAFETY_ANALYSIS {
+    return objective_;
+  }
   const BudgetAccountant& accountant() const { return *accountant_; }
   const ModelRegistry& registry() const { return registry_; }
   const ServiceOptions& options() const { return options_; }
@@ -328,86 +340,107 @@ class Service {
   // exactly one outcome metric per request — the WAL-commit-failure early
   // return, the degraded read-only path, and the normal path included.
   std::vector<Response> ExecuteLogLocked(const std::vector<Request>& log,
-                                         bool append_to_wal);
-  std::vector<Response> ExecuteLogLockedImpl(const std::vector<Request>& log,
-                                             bool append_to_wal);
+                                         bool append_to_wal)
+      FM_REQUIRES(execute_mutex_);
+  std::vector<Response> ExecuteLogImplLocked(const std::vector<Request>& log,
+                                             bool append_to_wal)
+      FM_REQUIRES(execute_mutex_);
 
   // Telemetry plumbing (all no-ops when telemetry_ is null). Definitions
   // live with struct Telemetry in service.cc.
   void RecordOutcomesLocked(const std::vector<Request>& log,
-                            const std::vector<Response>& out);
+                            const std::vector<Response>& out)
+      FM_REQUIRES(execute_mutex_);
   void RecordSegmentLatency(RequestKind kind, int64_t nanos, size_t count);
-  void PollGaugesLocked();
+  void PollGaugesLocked() FM_REQUIRES(execute_mutex_);
 
-  // Checkpoint body; requires execute_mutex_ and enabled durability.
-  Status CheckpointLocked();
-  void MaybeAutoCheckpointLocked();
+  // Checkpoint machinery; requires execute_mutex_ and enabled durability.
+  // CheckpointLocked wraps WriteSnapshotLocked (the encode + write + prune
+  // body) with snapshot telemetry.
+  Status CheckpointLocked() FM_REQUIRES(execute_mutex_);
+  Status WriteSnapshotLocked() FM_REQUIRES(execute_mutex_);
+  void MaybeAutoCheckpointLocked() FM_REQUIRES(execute_mutex_);
 
   // Degraded-mode machinery; all require execute_mutex_.
-  void EnterFaultModeLocked(const Status& cause);
+  void EnterFaultModeLocked(const Status& cause)
+      FM_REQUIRES(execute_mutex_);
   // Read-only execution while degraded: predicts/evaluates serve the last
   // durable state WITHOUT consuming log positions or touching the WAL
   // (consumed-but-unlogged positions would desync the Rng::Fork(seed,
   // position) train streams between this service and a recovered replica);
   // every mutating request is rejected with kDegradedReadOnly.
-  std::vector<Response> ExecuteReadOnlyLocked(const std::vector<Request>& log);
-  Response DegradedRejectionLocked();
+  std::vector<Response> ExecuteReadOnlyLocked(const std::vector<Request>& log)
+      FM_REQUIRES(execute_mutex_);
+  Response DegradedRejectionLocked() FM_REQUIRES(execute_mutex_);
 
-  // Handlers; `position` is the request's absolute log position.
-  Response DoInsert(const Request& request);
-  Response DoDelete(const Request& request);
-  Response DoUpdate(const Request& request);
-  Response DoTrain(const Request& request, uint64_t position);
+  // Handlers; `position` is the request's absolute log position. All of
+  // them mutate (or read for mutation) the execute_mutex_-guarded store,
+  // except DoPredict: it runs on pool worker threads inside
+  // RunPredictBatch and touches only the immutable options and a registry
+  // snapshot, so it carries no lock requirement by design.
+  Response DoInsertLocked(const Request& request)
+      FM_REQUIRES(execute_mutex_);
+  Response DoDeleteLocked(const Request& request)
+      FM_REQUIRES(execute_mutex_);
+  Response DoUpdateLocked(const Request& request)
+      FM_REQUIRES(execute_mutex_);
+  Response DoTrainLocked(const Request& request, uint64_t position)
+      FM_REQUIRES(execute_mutex_);
   Response DoPredict(const Request& request,
                      const std::shared_ptr<const ModelSnapshot>& snapshot)
       const;
-  Response DoEvaluate();
-  Response DoCompact();
+  Response DoEvaluateLocked() FM_REQUIRES(execute_mutex_);
+  Response DoCompactLocked() FM_REQUIRES(execute_mutex_);
 
   // Runs the ServiceOptions auto-compaction policy; called after every
   // successful delete (the only transition that grows dead_count).
-  void MaybeAutoCompact();
+  void MaybeAutoCompactLocked() FM_REQUIRES(execute_mutex_);
 
-  // Batched handlers over log[begin, end).
+  // Batched handlers over log[begin, end). RunPredictBatch is read-only
+  // (registry snapshot + worker-thread DoPredict) and needs no lock.
   void RunPredictBatch(const std::vector<Request>& log, size_t begin,
                        size_t end, std::vector<Response>& out) const;
-  void RunInsertBatch(const std::vector<Request>& log, size_t begin,
-                      size_t end, std::vector<Response>& out);
+  void RunInsertBatchLocked(const std::vector<Request>& log, size_t begin,
+                            size_t end, std::vector<Response>& out)
+      FM_REQUIRES(execute_mutex_);
 
   ServiceOptions options_;
-  IncrementalObjective objective_;
   std::unique_ptr<BudgetAccountant> accountant_;
   ModelRegistry registry_;
   // Serializes all execution (ExecuteLog, Drain, Checkpoint,
   // EnableDurability) so racing callers cannot interleave batches; the
   // counters below stay atomic so the read-only accessors need not take it.
-  std::mutex execute_mutex_;
+  // Lock order: execute_mutex_ is always taken before queue_mutex_ (Drain,
+  // PollGaugesLocked); never the reverse.
+  Mutex execute_mutex_ FM_ACQUIRED_BEFORE(queue_mutex_);
+  IncrementalObjective objective_ FM_GUARDED_BY(execute_mutex_);
   std::atomic<uint64_t> next_position_{0};
   std::atomic<uint64_t> compaction_count_{0};
 
   // Durability (null until EnableDurability/Recover).
-  std::unique_ptr<Wal> wal_;
-  std::unique_ptr<DurabilityOptions> durability_;
-  uint64_t options_fingerprint_ = 0;
-  uint64_t last_checkpoint_position_ = 0;
+  std::unique_ptr<Wal> wal_ FM_GUARDED_BY(execute_mutex_);
+  std::unique_ptr<DurabilityOptions> durability_
+      FM_GUARDED_BY(execute_mutex_);
+  uint64_t options_fingerprint_ FM_GUARDED_BY(execute_mutex_) = 0;
+  uint64_t last_checkpoint_position_ FM_GUARDED_BY(execute_mutex_) = 0;
 
   // Degradation state (docs/FAULTS.md). The mode is atomic so
   // serving_mode() needs no lock; transitions happen under execute_mutex_.
   std::atomic<int> serving_mode_{0};
   std::atomic<uint64_t> degraded_rejections_{0};
-  std::string degrade_reason_;  // guarded by execute_mutex_
+  std::string degrade_reason_ FM_GUARDED_BY(execute_mutex_);
 
   // Telemetry (null when options_.enable_metrics is false). Immutable
   // pointer after construction, so hot paths test it without a lock.
   struct Telemetry;
   std::unique_ptr<Telemetry> telemetry_;
 
-  std::mutex queue_mutex_;
-  std::vector<Request> queue_;
+  Mutex queue_mutex_;
+  std::vector<Request> queue_ FM_GUARDED_BY(queue_mutex_);
   // Parallel to queue_ when telemetry is on: Enqueue timestamps, so Drain
-  // can observe per-request queue wait. Guarded by queue_mutex_.
-  std::vector<int64_t> queue_enqueue_nanos_;
-  uint64_t queue_base_ = 0;
+  // can observe per-request queue wait.
+  std::vector<int64_t> queue_enqueue_nanos_ FM_GUARDED_BY(queue_mutex_);
+  uint64_t queue_base_ FM_GUARDED_BY(queue_mutex_) = 0;
 };
 
 }  // namespace fm::serve

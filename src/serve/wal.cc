@@ -342,6 +342,9 @@ Status Wal::Commit() {
       // this batch was acknowledged), and the WAL refuses all future
       // writes. Earlier batches synced in previous windows are unaffected.
       poisoned_ = true;
+      // discard-ok: best-effort rollback on an already-poisoned WAL —
+      // the poison flag is the real containment; a rollback error has
+      // no further remedy here.
       (void)file_->Truncate(file_bytes_);
       if (telemetry_.commit_failures != nullptr) {
         telemetry_.commit_failures->Increment();
